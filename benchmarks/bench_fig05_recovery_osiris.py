@@ -1,0 +1,60 @@
+"""Figure 5 bench: Osiris whole-memory recovery time vs capacity.
+
+Regenerates the paper's series (128GB → 8TB, ≈7.8h at 8TB) from the
+analytic model, and times a *functional* full recovery on a small
+simulated system so the O(n) path itself is exercised, not just priced.
+"""
+
+from repro.config import GIB, SchemeKind, TIB
+from repro.crypto.keys import ProcessorKeys
+from repro.experiments import fig05_recovery_osiris
+from repro.recovery.crash import crash, reincarnate
+from repro.recovery.osiris_full import OsirisFullRecovery
+from repro.traces.profiles import profile
+from repro.traces.replay import replay
+from repro.traces.synthetic import generate_trace
+
+from tests.helpers import small_config
+from repro.controller.factory import build_controller
+
+MIB = 1024 * 1024
+
+
+def test_fig05_series(benchmark):
+    """The figure's analytic series, checked for the paper's shape."""
+    result = benchmark(fig05_recovery_osiris.run)
+    assert 6.5 < result.hours_at_8tb < 9.0
+    seconds = [result.recovery_seconds[c] for c in result.capacities]
+    assert seconds == sorted(seconds)
+    benchmark.extra_info["recovery_seconds"] = {
+        f"{capacity // GIB}GB": round(result.recovery_seconds[capacity], 1)
+        for capacity in result.capacities
+    }
+    benchmark.extra_info["hours_at_8tb"] = round(result.hours_at_8tb, 2)
+
+
+def test_fig05_functional_full_recovery(benchmark):
+    """Time an actual O(touched-memory) recovery on a 16MB system."""
+
+    def setup():
+        controller = build_controller(
+            small_config(SchemeKind.OSIRIS, memory_bytes=64 * MIB),
+            keys=ProcessorKeys(0),
+        )
+        trace = generate_trace(
+            profile("gcc"), 2500, seed=0, capacity_bytes=64 * MIB
+        )
+        replay(controller, trace)
+        crash(controller)
+        reborn = reincarnate(controller)
+        return (reborn,), {}
+
+    def recover(reborn):
+        return OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+    report = benchmark.pedantic(recover, setup=setup, rounds=3)
+    assert report.root_matched
+    benchmark.extra_info["counter_blocks_scanned"] = (
+        report.counter_blocks_scanned
+    )
+    benchmark.extra_info["memory_reads"] = report.memory_reads

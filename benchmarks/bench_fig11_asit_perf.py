@@ -1,0 +1,33 @@
+"""Figure 11 bench: ASIT performance on SGX-style trees.
+
+Regenerates the normalized rows and the endurance comparison: ASIT is
+~8x cheaper than strict persistence (the only other scheme that can
+recover this tree) in time, and ~an-order-of-magnitude cheaper in extra
+NVM writes.
+"""
+
+from repro.config import SchemeKind
+from repro.experiments import fig11_asit_perf
+
+
+def test_fig11_asit_performance(benchmark, bench_workloads, bench_length):
+    result = benchmark.pedantic(
+        fig11_asit_perf.run,
+        kwargs={"benchmarks": bench_workloads, "trace_length": bench_length},
+        rounds=1,
+        iterations=1,
+    )
+    averages = result.averages
+    assert averages[SchemeKind.ASIT] < 0.35 * (
+        averages[SchemeKind.STRICT_PERSISTENCE]
+    )
+    assert result.extra_writes[SchemeKind.STRICT_PERSISTENCE] > 3 * (
+        result.extra_writes[SchemeKind.ASIT]
+    )
+    benchmark.extra_info["gmean_overhead_percent"] = {
+        scheme.value: round(value, 2) for scheme, value in averages.items()
+    }
+    benchmark.extra_info["extra_writes_per_data_write"] = {
+        scheme.value: round(value, 2)
+        for scheme, value in result.extra_writes.items()
+    }

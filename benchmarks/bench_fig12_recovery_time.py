@@ -1,0 +1,84 @@
+"""Figure 12 bench: Anubis recovery time vs metadata cache size.
+
+Two parts: the analytic worst-case series (the directly comparable
+figure), and timed *functional* recoveries — a real crash and a real
+Algorithm 1 / Algorithm 2 run — whose step counts are priced at the
+paper's 100ns.
+"""
+
+from repro.config import KIB, SchemeKind, TIB, TreeKind
+from repro.controller.factory import build_controller
+from repro.core.recovery_agit import AgitRecovery
+from repro.core.recovery_asit import AsitRecovery
+from repro.core.recovery_time import osiris_recovery_time_s
+from repro.crypto.keys import ProcessorKeys
+from repro.experiments import fig12_recovery_time
+from repro.recovery.crash import crash, reincarnate
+from repro.traces.profiles import profile
+from repro.traces.replay import replay
+from repro.traces.synthetic import generate_trace
+
+from tests.helpers import small_config
+
+MIB = 1024 * 1024
+
+
+def test_fig12_analytic_series(benchmark):
+    result = benchmark(fig12_recovery_time.run)
+    for size in result.cache_sizes:
+        assert result.agit_analytic[size] < 1.0  # sub-second everywhere
+        assert result.asit_analytic[size] < result.agit_analytic[size]
+    # The abstract's 10^5-10^6x contrast against the 8TB Osiris scan.
+    osiris_8tb = osiris_recovery_time_s(8 * TIB)
+    assert osiris_8tb / result.agit_analytic[256 * KIB] > 1e5
+    benchmark.extra_info["agit_seconds"] = {
+        f"{size // KIB}KB": round(result.agit_analytic[size], 4)
+        for size in result.cache_sizes
+    }
+    benchmark.extra_info["asit_seconds"] = {
+        f"{size // KIB}KB": round(result.asit_analytic[size], 4)
+        for size in result.cache_sizes
+    }
+
+
+def _crashed_system(scheme, tree, cache_bytes):
+    controller = build_controller(
+        small_config(scheme, tree, cache_bytes=cache_bytes, memory_bytes=64 * MIB),
+        keys=ProcessorKeys(0),
+    )
+    trace = generate_trace(profile("libquantum"), 2500, seed=0)
+    replay(controller, trace)
+    crash(controller)
+    return reincarnate(controller)
+
+
+def test_fig12_functional_agit_recovery(benchmark):
+    def setup():
+        return (_crashed_system(SchemeKind.AGIT_PLUS, TreeKind.BONSAI, 8 * KIB),), {}
+
+    def recover(reborn):
+        return AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+    report = benchmark.pedantic(recover, setup=setup, rounds=3)
+    assert report.root_matched
+    benchmark.extra_info["estimated_recovery_ms"] = round(
+        report.estimated_seconds() * 1000, 4
+    )
+    benchmark.extra_info["tracked_counter_blocks"] = (
+        report.tracked_counter_blocks
+    )
+
+
+def test_fig12_functional_asit_recovery(benchmark):
+    def setup():
+        return (_crashed_system(SchemeKind.ASIT, TreeKind.SGX, 8 * KIB),), {}
+
+    def recover(reborn):
+        return AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+    report = benchmark.pedantic(recover, setup=setup, rounds=3)
+    assert report.shadow_root_matched
+    benchmark.extra_info["estimated_recovery_ms"] = round(
+        report.estimated_seconds() * 1000, 4
+    )
+    benchmark.extra_info["valid_entries"] = report.valid_entries

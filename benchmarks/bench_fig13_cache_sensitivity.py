@@ -1,0 +1,30 @@
+"""Figure 13 bench: performance sensitivity to metadata cache size."""
+
+from repro.config import KIB, SchemeKind
+from repro.experiments import fig13_cache_sensitivity
+
+SWEEP = [64 * KIB, 128 * KIB, 256 * KIB]
+
+
+def test_fig13_sensitivity_sweep(benchmark):
+    result = benchmark.pedantic(
+        fig13_cache_sensitivity.run,
+        kwargs={"cache_sizes": SWEEP, "trace_length": 5000},
+        rounds=1,
+        iterations=1,
+    )
+    # Larger caches never hurt, and the curves flatten at the top end
+    # (the paper's "no significant improvement beyond" observation —
+    # scaled down with the test geometry).
+    for scheme, series in result.normalized.items():
+        assert series[SWEEP[-1]] <= series[SWEEP[0]] + 0.02
+    benchmark.extra_info["normalized_time"] = {
+        scheme.value: {
+            f"{size // KIB}KB": round(series[size], 4) for size in SWEEP
+        }
+        for scheme, series in result.normalized.items()
+    }
+    benchmark.extra_info["sensitivity"] = {
+        scheme.value: round(result.sensitivity(scheme), 4)
+        for scheme in result.normalized
+    }

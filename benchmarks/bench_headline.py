@@ -1,0 +1,17 @@
+"""Headline bench: the abstract's recovery-time speedup claim."""
+
+from repro.config import KIB, TIB
+from repro.experiments import headline
+
+
+def test_headline_speedup(benchmark):
+    result = benchmark(headline.run)
+    # "from 8 hours to only 0.03 seconds"
+    assert 6.5 * 3600 < result.osiris_seconds < 9 * 3600
+    assert 0.01 < result.agit_seconds < 0.06
+    assert result.speedup > 1e5
+    benchmark.extra_info["osiris_hours"] = round(
+        result.osiris_seconds / 3600, 2
+    )
+    benchmark.extra_info["agit_seconds"] = round(result.agit_seconds, 4)
+    benchmark.extra_info["speedup"] = round(result.speedup)

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables/figures at reduced trace
+lengths (pytest-benchmark times the harness; the *numbers* land in
+``benchmark.extra_info`` so ``--benchmark-json`` output carries the
+reproduced series).  Run the full-scale versions with
+``python -m repro.experiments --full``.
+"""
+
+import pytest
+
+#: Trace length for performance figures under pytest-benchmark.
+BENCH_LENGTH = 4000
+
+#: Subset of benchmarks exercising each distinct behaviour class:
+#: read-dominated (mcf), streaming write-heavy (lbm), hot rewrites
+#: (libquantum), mixed locality (gcc).
+BENCH_WORKLOADS = ["mcf", "lbm", "libquantum", "gcc"]
+
+
+@pytest.fixture(scope="session")
+def bench_length():
+    return BENCH_LENGTH
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    return list(BENCH_WORKLOADS)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""The paper's §1 motivating scenario: an in-memory database on secure NVM.
+
+A toy key-value store commits transactions to persistent memory.  The
+moment a transaction commits, its durability is promised to the client —
+so after a crash the system must (a) recover every committed record and
+(b) come back *fast* (the five-nines budget is 5.25 down-minutes per
+year; an 8TB Osiris rebuild alone spends a year and a half of that).
+
+This example commits transactions, crashes mid-workload, recovers with
+AGIT, and verifies every committed transaction — then prices the same
+recovery under plain Osiris at datacenter capacities.
+
+Run:  python examples/inmemory_database_recovery.py
+"""
+
+import hashlib
+
+from repro import (
+    AgitRecovery,
+    ProcessorKeys,
+    SchemeKind,
+    build_controller,
+    crash,
+    default_table1_config,
+    osiris_recovery_time_s,
+    reincarnate,
+)
+
+TIB = 1024**4
+
+
+class TinyKvStore:
+    """A fixed-slot KV store on top of the secure memory controller.
+
+    Keys hash to 64B slots; each record packs ``key || value`` into one
+    line.  Commit = the controller's write path (which is atomic through
+    the persistent registers + WPQ).
+    """
+
+    SLOTS = 4096
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+
+    def _home_slot(self, key: str) -> int:
+        digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
+        return int.from_bytes(digest, "little") % self.SLOTS
+
+    def _pack(self, key: str, value: str) -> bytes:
+        record = f"{key}={value}".encode()
+        if len(record) > 64:
+            raise ValueError("record too large for one line")
+        return record.ljust(64, b"\x00")
+
+    def _probe(self, key: str):
+        """Linear probing: yield (address, stored_key) from the home slot."""
+        home = self._home_slot(key)
+        for offset in range(self.SLOTS):
+            address = ((home + offset) % self.SLOTS) * 64
+            raw = self.controller.read(address).rstrip(b"\x00")
+            stored_key, _, value = raw.decode(errors="replace").partition("=")
+            yield address, stored_key, value
+
+    def commit(self, key: str, value: str) -> None:
+        """Durably commit one record (update in place or claim a slot)."""
+        for address, stored_key, _value in self._probe(key):
+            if stored_key in ("", key):
+                self.controller.write(address, self._pack(key, value))
+                return
+        raise RuntimeError("store full")
+
+    def get(self, key: str) -> str:
+        """Read a record back (decrypts + integrity-verifies)."""
+        for _address, stored_key, value in self._probe(key):
+            if stored_key == key:
+                return value
+            if stored_key == "":
+                break
+        raise KeyError(key)
+
+
+def main() -> None:
+    config = default_table1_config(SchemeKind.AGIT_PLUS)
+    controller = build_controller(config, keys=ProcessorKeys(seed=99))
+    store = TinyKvStore(controller)
+
+    print("=== committing transactions ===")
+    committed = {}
+    for txn in range(500):
+        key, value = f"user:{txn}", f"balance-{txn * 17 % 1000}"
+        store.commit(key, value)
+        committed[key] = value
+    print(f"{len(committed)} transactions committed "
+          f"(each atomic via persistent registers -> WPQ)")
+
+    print("\n=== crash right after the last commit ===")
+    crash(controller)
+
+    print("\n=== recovery ===")
+    reborn = reincarnate(controller)
+    report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+    recovered_store = TinyKvStore(reborn)
+    lost = sum(
+        1 for key, value in committed.items()
+        if recovered_store.get(key) != value
+    )
+    print(f"recovered {len(committed) - lost}/{len(committed)} committed "
+          f"transactions in ~{report.estimated_seconds() * 1000:.2f} ms "
+          f"(root matched: {report.root_matched})")
+
+    print("\n=== the availability math (§1) ===")
+    budget_s = 5.25 * 60  # five nines: 5.25 minutes/year
+    for capacity in (1 * TIB, 4 * TIB, 8 * TIB):
+        osiris_s = osiris_recovery_time_s(capacity)
+        print(
+            f"{capacity // TIB}TB memory: Osiris rebuild = "
+            f"{osiris_s / 3600:6.2f} h "
+            f"({osiris_s / budget_s:7.1f}x the yearly five-nines budget); "
+            f"Anubis = {report.estimated_seconds() * 1000:.2f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A downstream-user study: which persistence scheme should I run?
+
+Sweeps the persistence schemes over three contrasting SPEC-like
+workloads and prints the three costs a deployment actually weighs:
+
+* run-time overhead vs the write-back baseline (Fig. 10/11);
+* NVM endurance: extra device writes per data write (§6.2);
+* crash-recovery time (functional, priced at 100ns/step) and whether
+  recovery is even possible.
+
+Run:  python examples/scheme_comparison_study.py  [trace_length]
+"""
+
+import sys
+
+from repro import (
+    AgitRecovery,
+    AsitRecovery,
+    ProcessorKeys,
+    SchemeKind,
+    TreeKind,
+    build_controller,
+    crash,
+    default_table1_config,
+    generate_trace,
+    profile,
+    reincarnate,
+    replay,
+    run_simulation,
+)
+from repro.experiments.reporting import format_markdown_table
+
+WORKLOADS = ["mcf", "libquantum", "gcc"]
+
+SCHEMES = [
+    (SchemeKind.WRITE_BACK, TreeKind.BONSAI, None),
+    (SchemeKind.STRICT_PERSISTENCE, TreeKind.BONSAI, "none needed"),
+    (SchemeKind.OSIRIS, TreeKind.BONSAI, "O(memory) scan"),
+    (SchemeKind.SELECTIVE, TreeKind.BONSAI, "replay-vulnerable"),
+    (SchemeKind.AGIT_READ, TreeKind.BONSAI, "agit"),
+    (SchemeKind.AGIT_PLUS, TreeKind.BONSAI, "agit"),
+    (SchemeKind.ASIT, TreeKind.SGX, "asit"),
+]
+
+
+def recovery_cell(scheme, tree, kind, keys, trace):
+    """Run a real crash/recovery cycle where one exists."""
+    if kind is None:
+        return "impossible"
+    if kind == "none needed":
+        return "0 (always persistent)"
+    if kind == "O(memory) scan":
+        return "hours at TB scale (Fig. 5)"
+    if kind == "replay-vulnerable":
+        return "restores, but admits replay attacks"
+    controller = build_controller(
+        default_table1_config(scheme, tree), keys=keys
+    )
+    replay(controller, trace)
+    crash(controller)
+    reborn = reincarnate(controller)
+    if kind == "agit":
+        report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+    else:
+        report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+    return f"{report.estimated_seconds() * 1000:.2f} ms"
+
+
+def main() -> None:
+    trace_length = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    keys = ProcessorKeys(seed=5)
+
+    for workload in WORKLOADS:
+        trace = generate_trace(profile(workload), trace_length, seed=0)
+        baselines = {}
+        rows = []
+        for scheme, tree, recovery_kind in SCHEMES:
+            config = default_table1_config(scheme, tree)
+            result = run_simulation(config, trace, keys)
+            if tree not in baselines:
+                baseline_config = default_table1_config(
+                    SchemeKind.WRITE_BACK, tree
+                )
+                baselines[tree] = run_simulation(
+                    baseline_config, trace, keys
+                ).elapsed_ns
+            overhead = (result.elapsed_ns / baselines[tree] - 1.0) * 100.0
+            rows.append(
+                (
+                    f"{scheme.value} ({tree.value})",
+                    f"{overhead:+.1f}%",
+                    f"{result.extra_writes_per_data_write:.2f}",
+                    recovery_cell(scheme, tree, recovery_kind, keys, trace),
+                )
+            )
+        print(f"\n### workload: {workload} "
+              f"({trace.write_fraction:.0%} writes, "
+              f"{trace.footprint_bytes // 1024} KiB footprint)")
+        print(
+            format_markdown_table(
+                [
+                    "scheme",
+                    "runtime overhead",
+                    "extra writes/write",
+                    "recovery after crash",
+                ],
+                rows,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

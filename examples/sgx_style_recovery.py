@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Why SGX-style trees need ASIT — the paper's second contribution.
+
+Parallelizable (SGX-style) integrity trees cannot be rebuilt from their
+leaves: every node's MAC covers a nonce in its *parent*, so losing the
+cached intermediate nodes in a crash leaves nothing to verify against.
+This example shows the failure concretely, then the ASIT fix:
+
+1. an SGX-style system under Osiris (counters recoverable!) still
+   cannot verify its tree after a crash;
+2. the same workload under ASIT recovers from the integrity-protected
+   Shadow Table in O(cache) time;
+3. a tampered Shadow Table is caught by SHADOW_TREE_ROOT before any
+   recovered value is trusted.
+
+Run:  python examples/sgx_style_recovery.py
+"""
+
+from repro import (
+    AsitRecovery,
+    IntegrityError,
+    ProcessorKeys,
+    SchemeKind,
+    TreeKind,
+    UnrecoverableError,
+    build_controller,
+    crash,
+    default_table1_config,
+    reincarnate,
+)
+
+
+def run_workload(controller, lines=400):
+    data = {}
+    for index in range(lines):
+        address = index * 512  # one line per SGX version block
+        value = f"enclave-page-{index:04d}".encode().ljust(64, b"!")
+        controller.write(address, value)
+        controller.write(address, value)  # leave counters dirty on-chip
+        data[address] = value
+    return data
+
+
+def main() -> None:
+    print("=== 1. Osiris on an SGX-style tree: counters are not enough ===")
+    osiris = build_controller(
+        default_table1_config(SchemeKind.OSIRIS, TreeKind.SGX),
+        keys=ProcessorKeys(1),
+    )
+    data = run_workload(osiris)
+    crash(osiris)
+    reborn = reincarnate(osiris)
+    failures = 0
+    for address in list(data)[:50]:
+        try:
+            reborn.read(address)
+        except IntegrityError:
+            failures += 1
+    print(f"after crash: {failures}/50 reads fail — the intermediate "
+          "nonces and MACs are gone and nothing can vouch for the leaves")
+
+    print("\n=== 2. the same workload under ASIT ===")
+    asit = build_controller(
+        default_table1_config(SchemeKind.ASIT, TreeKind.SGX),
+        keys=ProcessorKeys(2),
+    )
+    data = run_workload(asit)
+    crash(asit)
+    reborn = reincarnate(asit)
+    report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+    bad = sum(1 for a, v in data.items() if reborn.read(a) != v)
+    print(f"SHADOW_TREE_ROOT verified: {report.shadow_root_matched}")
+    print(f"nodes recovered from Shadow Table: {report.nodes_recovered}")
+    print(f"recovery work: {report.memory_reads} block reads "
+          f"(~{report.estimated_seconds() * 1000:.2f} ms) — O(cache), "
+          "no data scan, no counter trials")
+    print(f"data check: {len(data) - bad}/{len(data)} OK")
+
+    print("\n=== 3. a tampered Shadow Table is rejected ===")
+    victim = build_controller(
+        default_table1_config(SchemeKind.ASIT, TreeKind.SGX),
+        keys=ProcessorKeys(3),
+    )
+    run_workload(victim, lines=50)
+    crash(victim)
+    # the attacker edits one ST entry in NVM
+    for slot in range(victim.metadata_cache.num_slots):
+        st_address = victim.layout.st_entry_address(slot)
+        if victim.nvm.is_written(st_address):
+            raw = bytearray(victim.nvm.peek(st_address))
+            raw[20] ^= 0xFF
+            victim.nvm.poke(st_address, bytes(raw))
+            break
+    reborn = reincarnate(victim)
+    try:
+        AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        print("!! tamper went undetected — this should never print")
+    except UnrecoverableError as error:
+        print(f"recovery refused: {error}")
+
+
+if __name__ == "__main__":
+    main()

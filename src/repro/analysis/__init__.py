@@ -1,0 +1,23 @@
+"""Post-run analyses: endurance/lifetime and availability budgets."""
+
+from repro.analysis.availability import (
+    SchemeAvailability,
+    achieved_nines,
+    availability_report,
+    max_crashes_within_budget,
+)
+from repro.analysis.endurance import (
+    EnduranceReport,
+    analyze_endurance,
+    lifetime_years,
+)
+
+__all__ = [
+    "EnduranceReport",
+    "analyze_endurance",
+    "lifetime_years",
+    "SchemeAvailability",
+    "achieved_nines",
+    "availability_report",
+    "max_crashes_within_budget",
+]

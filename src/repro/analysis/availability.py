@@ -1,0 +1,146 @@
+"""Availability analysis — the paper's §1 argument, as a calculator.
+
+Datacenter availability targets are expressed in "nines": five nines
+(99.999%) allows 5.25 minutes of downtime per year.  §1 argues that at
+terabyte NVM capacities, a *single* crash under Osiris-style recovery
+(7.8 hours at 8TB) blows through years of that budget, while Anubis
+recovery (milliseconds) makes even frequent crashes irrelevant.
+
+:func:`availability_report` turns (capacity, cache size, crashes/year)
+into per-scheme yearly downtime and the achieved "nines", so the
+abstract's argument is a function call instead of a slide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.recovery_time import (
+    agit_recovery_time_s,
+    asit_recovery_time_s,
+    osiris_recovery_time_s,
+)
+from repro.errors import ConfigError
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+#: Yearly downtime budgets for the usual availability classes.
+NINES_BUDGET_S = {
+    3: 8.77 * 3600,        # 99.9%
+    4: 52.6 * 60,          # 99.99%
+    5: 5.26 * 60,          # 99.999% — the paper's "five nines rule"
+    6: 31.6,               # 99.9999%
+}
+
+
+def achieved_nines(downtime_s_per_year: float) -> float:
+    """Availability expressed as a (fractional) count of nines.
+
+    ``downtime -> -log10(downtime / year)``; 5.26 min/yr ≈ 5.0 nines.
+    Zero downtime returns ``inf``.
+    """
+    if downtime_s_per_year < 0:
+        raise ConfigError("downtime cannot be negative")
+    if downtime_s_per_year == 0:
+        return float("inf")
+    return -math.log10(downtime_s_per_year / _SECONDS_PER_YEAR)
+
+
+@dataclass(frozen=True)
+class SchemeAvailability:
+    """One scheme's recovery cost and the availability it permits."""
+
+    scheme: str
+    recovery_s_per_crash: float
+    crashes_per_year: float
+
+    @property
+    def downtime_s_per_year(self) -> float:
+        """Recovery downtime accumulated over a year of crashes."""
+        return self.recovery_s_per_crash * self.crashes_per_year
+
+    @property
+    def nines(self) -> float:
+        """Achieved availability class (fractional nines)."""
+        return achieved_nines(self.downtime_s_per_year)
+
+    def meets(self, nines: int) -> bool:
+        """Does recovery downtime alone fit the given nines budget?"""
+        budget = NINES_BUDGET_S.get(nines)
+        if budget is None:
+            raise ConfigError(f"no budget defined for {nines} nines")
+        return self.downtime_s_per_year <= budget
+
+
+def availability_report(
+    capacity_bytes: int,
+    counter_cache_bytes: int,
+    merkle_cache_bytes: Optional[int] = None,
+    crashes_per_year: float = 4.0,
+    stop_loss: int = 4,
+) -> Dict[str, SchemeAvailability]:
+    """Per-scheme availability at a capacity / cache / crash-rate point.
+
+    ``crashes_per_year`` defaults to quarterly power events — generous
+    to Osiris; the paper's argument only gets stronger with more.
+    """
+    if crashes_per_year < 0:
+        raise ConfigError("crash rate cannot be negative")
+    merkle = (
+        merkle_cache_bytes
+        if merkle_cache_bytes is not None
+        else counter_cache_bytes
+    )
+    points = {
+        "osiris": osiris_recovery_time_s(capacity_bytes, stop_loss),
+        "agit": agit_recovery_time_s(
+            counter_cache_bytes, merkle, stop_loss=stop_loss
+        ),
+        "asit": asit_recovery_time_s(counter_cache_bytes + merkle),
+        "strict_persistence": 0.0,
+    }
+    return {
+        scheme: SchemeAvailability(
+            scheme=scheme,
+            recovery_s_per_crash=seconds,
+            crashes_per_year=crashes_per_year,
+        )
+        for scheme, seconds in points.items()
+    }
+
+
+def max_crashes_within_budget(
+    recovery_s_per_crash: float, nines: int = 5
+) -> float:
+    """How many crashes per year a scheme tolerates inside a budget.
+
+    The paper's inversion of the argument: at 8TB, Osiris affords ~0.01
+    crashes/year inside five nines; Anubis affords hundreds of
+    thousands.
+    """
+    budget = NINES_BUDGET_S.get(nines)
+    if budget is None:
+        raise ConfigError(f"no budget defined for {nines} nines")
+    if recovery_s_per_crash <= 0:
+        return float("inf")
+    return budget / recovery_s_per_crash
+
+
+def format_report(
+    report: Dict[str, SchemeAvailability], target_nines: int = 5
+) -> List[str]:
+    """Human-readable lines for a report (used by examples/CLI)."""
+    lines = []
+    for scheme, entry in sorted(
+        report.items(), key=lambda item: item[1].recovery_s_per_crash
+    ):
+        verdict = "meets" if entry.meets(target_nines) else "BLOWS"
+        lines.append(
+            f"{scheme:>20}: {entry.recovery_s_per_crash:12.4f} s/crash, "
+            f"{entry.downtime_s_per_year:12.2f} s/yr downtime "
+            f"({min(entry.nines, 9.99):.2f} nines) — "
+            f"{verdict} the {target_nines}-nines budget"
+        )
+    return lines

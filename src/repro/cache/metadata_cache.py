@@ -1,0 +1,134 @@
+"""Statistics-bearing wrapper around the set-associative cache.
+
+The secure memory controllers use one :class:`MetadataCache` per metadata
+stream: a counter cache and a Merkle-tree cache for Bonsai systems, or a
+single combined metadata cache for SGX-style systems (§4.3).  The wrapper
+adds exactly the accounting the paper's figures need — hit/miss counts
+and the clean-vs-dirty eviction split of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.cache.sa_cache import Eviction, SetAssociativeCache
+from repro.config import CacheConfig
+from repro.util.stats import StatGroup
+
+
+class MetadataCache:
+    """A counter / Merkle-tree / combined metadata cache with stats."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str,
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        self.cache = SetAssociativeCache(config, name)
+        self.name = name
+        self.stats = stats if stats is not None else StatGroup(name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._evict_clean = self.stats.counter("evictions_clean")
+        self._evict_dirty = self.stats.counter("evictions_dirty")
+        self._first_dirty = self.stats.counter("first_dirty")
+
+    # ------------------------------------------------------------------
+    # access paths (controllers call these; they only do accounting and
+    # delegate the mechanics to the underlying cache)
+    # ------------------------------------------------------------------
+
+    def access(self, address: int) -> Optional[Any]:
+        """Lookup with hit/miss accounting; payload or None."""
+        payload = self.cache.lookup(address)
+        if payload is None:
+            self._misses.add()
+        else:
+            self._hits.add()
+        return payload
+
+    def fill(
+        self, address: int, payload: Any, dirty: bool = False
+    ) -> Tuple[int, Optional[Eviction]]:
+        """Insert after a miss; accounts the eviction split of Fig. 7."""
+        slot, eviction = self.cache.insert(address, payload, dirty)
+        if eviction is not None:
+            if eviction.dirty:
+                self._evict_dirty.add()
+            else:
+                self._evict_clean.add()
+        return slot, eviction
+
+    def mark_dirty(self, address: int) -> bool:
+        """Dirty a resident block; counts and returns first-dirty events."""
+        first = self.cache.mark_dirty(address)
+        if first:
+            self._first_dirty.add()
+        return first
+
+    # thin delegations -------------------------------------------------
+
+    def peek(self, address: int) -> Optional[Any]:
+        """Payload without LRU/stat side effects."""
+        return self.cache.peek(address)
+
+    def contains(self, address: int) -> bool:
+        """Residency check without side effects."""
+        return self.cache.contains(address)
+
+    def slot_of(self, address: int) -> Optional[int]:
+        """Fixed slot number of a resident block."""
+        return self.cache.slot_of(address)
+
+    def is_dirty(self, address: int) -> bool:
+        """Dirty check without side effects."""
+        return self.cache.is_dirty(address)
+
+    def clean(self, address: int) -> None:
+        """Clear a block's dirty bit after write-back."""
+        self.cache.clean(address)
+
+    def resident(self):
+        """Iterate ``(slot, address, payload, dirty)`` over valid lines."""
+        return self.cache.resident()
+
+    def flush(self):
+        """Invalidate everything, returning eviction records."""
+        return self.cache.flush()
+
+    def drop_all_volatile(self) -> None:
+        """Crash: lose all content."""
+        self.cache.drop_all_volatile()
+
+    @property
+    def num_slots(self) -> int:
+        """Total slot count (sizes the matching shadow table)."""
+        return self.cache.num_slots
+
+    @property
+    def occupancy(self) -> int:
+        """Valid-line count."""
+        return self.cache.occupancy
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0.0 before any access)."""
+        total = self._hits.value + self._misses.value
+        return self._hits.value / total if total else 0.0
+
+    @property
+    def clean_eviction_fraction(self) -> float:
+        """Fraction of evictions that were clean — the Fig. 7 metric."""
+        total = self._evict_clean.value + self._evict_dirty.value
+        return self._evict_clean.value / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"MetadataCache({self.name}: hit_rate={self.hit_rate:.2%}, "
+            f"occupancy={self.occupancy}/{self.num_slots})"
+        )

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``describe`` — print the system configuration and physical layout
+  implied by a scheme/tree/capacity choice;
+* ``simulate`` — replay a SPEC-like workload under a scheme and print
+  the run summary (time, traffic, cache behaviour);
+* ``crash-demo`` — write a workload, inject a power failure, run the
+  matching recovery engine, and report the outcome;
+* ``trace`` — generate a workload trace and save it to a ``.rptr``
+  file for later replay;
+* ``experiments`` — shorthand for ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import (
+    GIB,
+    KIB,
+    SchemeKind,
+    TreeKind,
+    default_table1_config,
+)
+from repro.controller.factory import build_controller, build_layout
+from repro.crypto.keys import ProcessorKeys
+from repro.errors import ReproError
+from repro.sim.engine import run_simulation
+from repro.traces.io import write_trace
+from repro.traces.profiles import profile, profile_names
+from repro.traces.synthetic import generate_trace
+
+
+def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheme",
+        choices=[kind.value for kind in SchemeKind],
+        default=SchemeKind.WRITE_BACK.value,
+        help="persistence scheme (default: write_back)",
+    )
+    parser.add_argument(
+        "--tree",
+        choices=[kind.value for kind in TreeKind],
+        default=None,
+        help="integrity-tree family (default: inferred from scheme)",
+    )
+    parser.add_argument(
+        "--capacity-gib",
+        type=int,
+        default=16,
+        help="memory capacity in GiB (default: 16, Table 1)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _resolve_system(args: argparse.Namespace):
+    scheme = SchemeKind(args.scheme)
+    if args.tree is not None:
+        tree = TreeKind(args.tree)
+    elif scheme == SchemeKind.ASIT:
+        tree = TreeKind.SGX
+    else:
+        tree = TreeKind.BONSAI
+    config = default_table1_config(
+        scheme, tree, capacity_bytes=args.capacity_gib * GIB
+    )
+    return config, ProcessorKeys(args.seed)
+
+
+def _command_describe(args: argparse.Namespace) -> int:
+    config, _keys = _resolve_system(args)
+    layout = build_layout(config)
+    print(f"scheme         : {config.scheme.value}")
+    print(f"tree           : {config.tree.value} "
+          f"({config.update_policy.value} updates)")
+    print(f"capacity       : {config.memory.capacity_bytes // GIB} GiB "
+          f"({config.memory.num_pages:,} pages)")
+    print(f"counter cache  : {config.counter_cache.size_bytes // KIB} KiB, "
+          f"{config.counter_cache.ways}-way")
+    print(f"merkle cache   : {config.merkle_cache.size_bytes // KIB} KiB, "
+          f"{config.merkle_cache.ways}-way")
+    print(f"stop-loss      : {config.encryption.stop_loss_limit} "
+          f"({config.encryption.counter_recovery.value} recovery)")
+    print(f"tree levels    : {layout.root_level} stored + on-chip root")
+    print(f"level counts   : {layout.level_counts}")
+    print("\naddress map:")
+    print(layout.describe())
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config, keys = _resolve_system(args)
+    trace = generate_trace(
+        profile(args.workload), args.length, seed=args.seed
+    )
+    result = run_simulation(config, trace, keys)
+    print(f"workload       : {trace}")
+    print(f"scheme         : {config.scheme.value} ({config.tree.value})")
+    print(f"elapsed        : {result.elapsed_ns / 1e6:.3f} ms "
+          f"({result.ns_per_access:.1f} ns/access)")
+    print(f"NVM reads      : {int(result.stat('nvm.reads')):,}")
+    print(f"NVM writes     : {result.nvm_writes:,} "
+          f"({result.extra_writes_per_data_write:.2f} extra per data write)")
+    for cache in ("counter_cache", "merkle_cache", "metadata_cache"):
+        hit_rate = result.stats.get(f"{cache}.hit_rate")
+        if hit_rate is not None:
+            print(f"{cache:<15}: {hit_rate:.1%} hit rate")
+    return 0
+
+
+def _command_crash_demo(args: argparse.Namespace) -> int:
+    from repro.core.recovery_agit import AgitRecovery
+    from repro.core.recovery_asit import AsitRecovery
+    from repro.recovery.crash import crash, reincarnate
+
+    config, keys = _resolve_system(args)
+    if not (config.scheme.is_recoverable_general and config.tree == TreeKind.BONSAI) and not (
+        config.scheme.is_recoverable_sgx and config.tree == TreeKind.SGX
+    ):
+        print(
+            f"scheme {config.scheme.value} on a {config.tree.value} tree is "
+            "not recoverable — try --scheme agit_plus or --scheme asit"
+        )
+        return 1
+    controller = build_controller(config, keys=keys)
+    trace = generate_trace(profile(args.workload), args.length, seed=args.seed)
+    from repro.traces.replay import replay
+
+    oracle = replay(controller, trace)
+    print(f"ran {len(trace)} requests; injecting power failure ...")
+    crash(controller)
+    reborn = reincarnate(controller)
+    if config.scheme == SchemeKind.ASIT:
+        report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        print(f"ASIT recovery: {report.nodes_recovered} nodes from the "
+              f"Shadow Table in ~{report.estimated_seconds()*1e3:.2f} ms "
+              f"(root ok: {report.shadow_root_matched})")
+    elif config.scheme == SchemeKind.STRICT_PERSISTENCE:
+        print("strict persistence: nothing to recover")
+        report = None
+    else:
+        report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        print(f"AGIT recovery: {report.counters_repaired} counter blocks + "
+              f"{report.nodes_rebuilt} tree nodes in "
+              f"~{report.estimated_seconds()*1e3:.2f} ms "
+              f"(root ok: {report.root_matched})")
+    checked = list(oracle.items())[: args.verify]
+    bad = sum(1 for address, data in checked if reborn.read(address) != data)
+    print(f"data check: {len(checked) - bad}/{len(checked)} lines intact")
+    return 0 if bad == 0 else 1
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        profile(args.workload), args.length, seed=args.seed
+    )
+    written = write_trace(trace, args.output)
+    print(f"wrote {trace} to {args.output} ({written:,} bytes)")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as experiments_main
+
+    forwarded = list(args.experiment_args)
+    return experiments_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Anubis (ISCA 2019) reproduction toolkit.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    describe = commands.add_parser(
+        "describe", help="print system configuration and layout"
+    )
+    _add_system_arguments(describe)
+    describe.set_defaults(handler=_command_describe)
+
+    simulate = commands.add_parser(
+        "simulate", help="replay a workload under a scheme"
+    )
+    _add_system_arguments(simulate)
+    simulate.add_argument(
+        "--workload", choices=profile_names(), default="gcc"
+    )
+    simulate.add_argument("--length", type=int, default=10_000)
+    simulate.set_defaults(handler=_command_simulate)
+
+    demo = commands.add_parser(
+        "crash-demo", help="workload -> power failure -> recovery"
+    )
+    _add_system_arguments(demo)
+    demo.add_argument("--workload", choices=profile_names(), default="gcc")
+    demo.add_argument("--length", type=int, default=5_000)
+    demo.add_argument(
+        "--verify", type=int, default=500, help="lines to read back"
+    )
+    demo.set_defaults(handler=_command_crash_demo)
+
+    trace = commands.add_parser(
+        "trace", help="generate a workload trace file"
+    )
+    trace.add_argument("--workload", choices=profile_names(), default="gcc")
+    trace.add_argument("--length", type=int, default=10_000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", required=True)
+    trace.set_defaults(handler=_command_trace)
+
+    experiments = commands.add_parser(
+        "experiments", help="run the paper-figure harness"
+    )
+    experiments.add_argument("experiment_args", nargs="*")
+    experiments.set_defaults(handler=_command_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

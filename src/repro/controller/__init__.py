@@ -1,0 +1,24 @@
+"""Secure memory controllers.
+
+:class:`~repro.controller.base.SecureMemoryController` wires the common
+substrate (NVM, channel, WPQ, crypto); :mod:`repro.controller.bonsai` and
+:mod:`repro.controller.sgx` implement the two integrity-tree families
+with the paper's baseline persistence schemes (write-back, strict
+persistence, Osiris stop-loss).  The Anubis controllers subclass these in
+:mod:`repro.core`.
+"""
+
+from repro.controller.access import MemoryRequest, Op
+from repro.controller.base import SecureMemoryController
+from repro.controller.bonsai import BonsaiController
+from repro.controller.sgx import SgxController
+from repro.controller.factory import build_controller
+
+__all__ = [
+    "MemoryRequest",
+    "Op",
+    "SecureMemoryController",
+    "BonsaiController",
+    "SgxController",
+    "build_controller",
+]

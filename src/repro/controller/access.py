@@ -1,0 +1,44 @@
+"""Memory request records — the interface between traces and controllers.
+
+A request is one post-LLC access: a 64B read or write at a data address,
+preceded by ``gap_ns`` of core compute since the previous request.  The
+gap is what lets a trace express intensity: a pointer-chasing benchmark
+issues requests back to back, a compute-bound one leaves the channel
+idle between them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Op(enum.Enum):
+    """Request direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One post-LLC memory access."""
+
+    op: Op
+    address: int
+    #: Payload for writes (64 bytes).  None for reads.
+    data: Optional[bytes] = None
+    #: Core compute time since the previous request (nanoseconds).
+    gap_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op == Op.WRITE and self.data is None:
+            raise ValueError("write request needs data")
+        if self.op == Op.READ and self.data is not None:
+            raise ValueError("read request must not carry data")
+
+    @property
+    def is_write(self) -> bool:
+        """True for writes."""
+        return self.op == Op.WRITE

@@ -1,0 +1,257 @@
+"""Abstract secure memory controller.
+
+The base class owns the substrate every scheme shares — the NVM device,
+the timing channel, the WPQ + persistent registers, the counter-mode
+engine, the ECC codec — and the data-path helpers (sideband packing,
+block reads with WPQ forwarding, persistent data writes).  Subclasses
+implement the metadata machinery for their tree family.
+
+Traffic accounting policy (see DESIGN.md): demand reads stall the core;
+all persistent writes flow through the WPQ and are charged to the
+channel when they drain; on-chip hash checks on a miss's verification
+path are charged as hash latency.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.controller.access import MemoryRequest, Op
+from repro.crypto.ctr import CounterModeEngine
+from repro.crypto.hashes import mac56
+from repro.crypto.keys import ProcessorKeys
+from repro.errors import IntegrityError
+from repro.mem.ecc import ECC_BYTES, SecdedCodec
+from repro.mem.layout import MemoryLayout
+from repro.mem.nvm import NvmDevice
+from repro.mem.timing import MemoryChannel
+from repro.mem.wpq import PersistentRegisters, WritePendingQueue
+from repro.util.stats import StatGroup
+
+#: Bytes of the per-line sideband blob: SECDED code then truncated MAC.
+SIDEBAND_BYTES = ECC_BYTES + 8
+
+
+class SecureMemoryController(abc.ABC):
+    """Common machinery for every persistence scheme."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        layout: MemoryLayout,
+        keys: Optional[ProcessorKeys] = None,
+        nvm: Optional[NvmDevice] = None,
+    ) -> None:
+        self.config = config
+        self.layout = layout
+        self.keys = keys if keys is not None else ProcessorKeys()
+        self.stats = StatGroup("ctrl")
+        self.channel = MemoryChannel(config.timing, self.stats)
+        self.nvm = nvm if nvm is not None else NvmDevice(layout.total_size)
+        self.wpq = WritePendingQueue(
+            self.nvm, self.channel, config.wpq_entries, StatGroup("wpq")
+        )
+        self.pregs = PersistentRegisters(self.wpq)
+        self.ctr_engine = CounterModeEngine(self.keys)
+        self.ecc_codec = SecdedCodec()
+
+        self._data_reads = self.stats.counter("data_reads")
+        self._data_writes = self.stats.counter("data_writes")
+        self._meta_fetches = self.stats.counter("meta_fetches")
+        self._meta_writebacks = self.stats.counter("meta_writebacks")
+        self._persist_writes = self.stats.counter("persist_writes")
+        self._shadow_writes = self.stats.counter("shadow_writes")
+        self._reencryptions = self.stats.counter("page_reencryptions")
+        self._integrity_checks = self.stats.counter("integrity_checks")
+        self._ecc_corrections = self.stats.counter("ecc_corrections")
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def access(self, request: MemoryRequest) -> Optional[bytes]:
+        """Run one request through the controller; returns read data."""
+        self.channel.advance(request.gap_ns)
+        self.wpq.drain_opportunistic()
+        if request.op == Op.READ:
+            return self.read(request.address)
+        self.write(request.address, request.data)
+        return None
+
+    @abc.abstractmethod
+    def read(self, address: int) -> bytes:
+        """Read and decrypt one 64B data line, verifying integrity."""
+
+    @abc.abstractmethod
+    def write(self, address: int, data: bytes) -> None:
+        """Encrypt and persist one 64B data line, updating metadata."""
+
+    @abc.abstractmethod
+    def drop_volatile(self) -> None:
+        """Crash model: lose every volatile structure (caches, mirrors).
+
+        On-chip *persistent* registers — tree roots — survive; the WPQ is
+        ADR-flushed by the crash injector before this is called.
+        """
+
+    @abc.abstractmethod
+    def writeback_all(self) -> None:
+        """Cleanly persist all dirty metadata (orderly shutdown)."""
+
+    def finalize(self) -> float:
+        """Drain outstanding writes and return total elapsed nanoseconds."""
+        self.wpq.drain_all()
+        return self.channel.elapsed_ns
+
+    # ------------------------------------------------------------------
+    # data-path helpers shared by both tree families
+    # ------------------------------------------------------------------
+
+    def read_block(self, address: int, charge: bool = True) -> Tuple[bytes, bool]:
+        """Fetch a 64B block with WPQ forwarding.
+
+        Returns ``(bytes, fresh)`` where ``fresh`` is False for a block
+        that has never been written (its content is architectural zeros
+        and carries no ECC/MAC to check).
+        """
+        forwarded = self.wpq.lookup(address)
+        if forwarded is not None:
+            return forwarded, True
+        if charge:
+            self.channel.read(1)
+        return self.nvm.read(address), self.nvm.is_written(address)
+
+    def read_data_line(self, address: int) -> Tuple[bytes, bytes, bool]:
+        """Fetch a data line and its sideband with WPQ forwarding.
+
+        Returns ``(ciphertext, sideband, fresh)``; ``fresh`` is False for
+        a never-written line (architectural zeros, nothing to verify).
+        """
+        entry = self.wpq.lookup_entry(address)
+        if entry is not None:
+            data, sideband = entry
+            return data, sideband if sideband is not None else bytes(
+                SIDEBAND_BYTES
+            ), True
+        self.channel.read(1)
+        return (
+            self.nvm.read(address),
+            self.nvm.read_ecc(address),
+            self.nvm.is_written(address),
+        )
+
+    def pack_sideband(self, ecc: bytes, mac: int) -> bytes:
+        """Pack ECC bits and data MAC into the per-line sideband blob."""
+        return ecc + mac.to_bytes(8, "little")
+
+    def unpack_sideband(self, blob: bytes) -> Tuple[bytes, int]:
+        """Inverse of :meth:`pack_sideband`."""
+        return blob[:ECC_BYTES], int.from_bytes(blob[ECC_BYTES:], "little")
+
+    def data_mac(self, address: int, major: int, minor: int, plaintext: bytes) -> int:
+        """Bonsai-style data MAC over (address, counter, plaintext)."""
+        payload = (
+            address.to_bytes(8, "little")
+            + major.to_bytes(8, "little")
+            + minor.to_bytes(8, "little")
+            + plaintext
+        )
+        return mac56(self.keys.mac_key, payload)
+
+    def _line_counter(self, major: int, minor: int) -> int:
+        """The per-line counter value: the minor for split-counter
+        systems, the 56-bit counter (passed as ``major``) for SGX."""
+        from repro.config import TreeKind
+
+        return minor if self.config.tree == TreeKind.BONSAI else major
+
+    def seal_data(
+        self, address: int, plaintext: bytes, major: int, minor: int
+    ) -> Tuple[bytes, bytes]:
+        """Encrypt a line and its sideband; returns (ciphertext, sideband).
+
+        Under phase-based counter recovery (§2.4) the sideband gains one
+        trailing *cleartext* byte holding the counter's low
+        ``phase_bits`` bits — counters need integrity (which the tree
+        provides), not confidentiality, so the leak is benign and
+        recovery can read the exact counter instead of trialing.
+        """
+        from repro.config import CounterRecoveryKind
+
+        ecc = self.ecc_codec.encode_line(plaintext)
+        mac = self.data_mac(address, major, minor, plaintext)
+        cipher, sideband = self.ctr_engine.encrypt_with_ecc(
+            plaintext, self.pack_sideband(ecc, mac), address, major, minor
+        )
+        encryption = self.config.encryption
+        if encryption.counter_recovery == CounterRecoveryKind.PHASE:
+            phase_mask = (1 << encryption.phase_bits) - 1
+            phase = self._line_counter(major, minor) & phase_mask
+            sideband += bytes([phase])
+        return cipher, sideband
+
+    def open_data(
+        self,
+        address: int,
+        ciphertext: bytes,
+        sideband_cipher: bytes,
+        major: int,
+        minor: int,
+    ) -> bytes:
+        """Decrypt a line, checking ECC sanity and the data MAC."""
+        plaintext, sideband = self.ctr_engine.decrypt_with_ecc(
+            ciphertext, sideband_cipher[:SIDEBAND_BYTES], address, major, minor
+        )
+        ecc, mac = self.unpack_sideband(sideband)
+        self._integrity_checks.add()
+        if not self.ecc_codec.is_sane(plaintext, ecc):
+            # CTR mode turns an NVM cell flip into a single flipped
+            # plaintext bit, so the SECDED code can repair genuine soft
+            # errors; a wrong counter scrambles the whole line and
+            # fails correction too.
+            corrected, plaintext = self.ecc_codec.correct_line(plaintext, ecc)
+            if not corrected:
+                raise IntegrityError(
+                    f"ECC check failed for data line {address:#x} "
+                    f"(wrong counter or corrupted line)"
+                )
+            self._ecc_corrections.add()
+        if mac != self.data_mac(address, major, minor, plaintext):
+            raise IntegrityError(f"data MAC mismatch at {address:#x}")
+        return plaintext
+
+    def persist_data(
+        self, address: int, ciphertext: bytes, sideband: bytes
+    ) -> None:
+        """Push one sealed data line into the persistent domain."""
+        self._persist_writes.add()
+        self.wpq.insert(address, ciphertext, sideband)
+
+    def persist_metadata(self, address: int, block: bytes) -> None:
+        """Push one metadata block into the persistent domain."""
+        self._persist_writes.add()
+        self.wpq.insert(address, block)
+
+    def shadow_write(self, address: int, block: bytes) -> None:
+        """Push one Anubis shadow-table block into the persistent domain."""
+        self._shadow_writes.add()
+        self.wpq.insert(address, block)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def collect_stats(self) -> Dict[str, float]:
+        """Flatten all stat groups owned by the controller."""
+        flat: Dict[str, float] = {}
+        self.stats.merge_into(flat)
+        self.wpq.stats.merge_into(flat)
+        self.nvm.stats.merge_into(flat)
+        return flat
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Core time elapsed so far, including channel backlog."""
+        return self.channel.elapsed_ns

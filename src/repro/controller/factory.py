@@ -1,0 +1,65 @@
+"""Controller and layout construction from a :class:`SystemConfig`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SchemeKind, SystemConfig, TreeKind
+from repro.controller.base import SecureMemoryController
+from repro.controller.bonsai import BonsaiController
+from repro.controller.sgx import SgxController
+from repro.crypto.keys import ProcessorKeys
+from repro.errors import ConfigError
+from repro.mem.layout import MemoryLayout
+from repro.mem.nvm import NvmDevice
+
+
+def build_layout(config: SystemConfig) -> MemoryLayout:
+    """Compute the physical layout implied by a system config.
+
+    The shadow regions are sized by the larger of the two metadata
+    caches (ASIT's combined Shadow Table gets twice that — one 64B entry
+    per combined-cache slot).
+    """
+    cache_blocks = max(
+        config.counter_cache.num_blocks, config.merkle_cache.num_blocks
+    )
+    return MemoryLayout(config.memory, config.tree, cache_blocks)
+
+
+def build_controller(
+    config: SystemConfig,
+    keys: Optional[ProcessorKeys] = None,
+    nvm: Optional[NvmDevice] = None,
+    layout: Optional[MemoryLayout] = None,
+) -> SecureMemoryController:
+    """Build the controller class matching ``config.scheme``/``tree``."""
+    # Imported here to avoid a circular import (core builds on controller).
+    from repro.core.agit import AgitPlusController, AgitReadController
+    from repro.core.asit import AsitController
+
+    if layout is None:
+        layout = build_layout(config)
+
+    if config.tree == TreeKind.BONSAI:
+        classes = {
+            SchemeKind.WRITE_BACK: BonsaiController,
+            SchemeKind.STRICT_PERSISTENCE: BonsaiController,
+            SchemeKind.OSIRIS: BonsaiController,
+            SchemeKind.SELECTIVE: BonsaiController,
+            SchemeKind.AGIT_READ: AgitReadController,
+            SchemeKind.AGIT_PLUS: AgitPlusController,
+        }
+    else:
+        classes = {
+            SchemeKind.WRITE_BACK: SgxController,
+            SchemeKind.STRICT_PERSISTENCE: SgxController,
+            SchemeKind.OSIRIS: SgxController,
+            SchemeKind.ASIT: AsitController,
+        }
+    cls = classes.get(config.scheme)
+    if cls is None:
+        raise ConfigError(
+            f"scheme {config.scheme} is not defined for tree {config.tree}"
+        )
+    return cls(config, layout, keys, nvm)

@@ -1,0 +1,31 @@
+"""Anubis core: shadow tables, the AGIT and ASIT controllers, the
+recovery engines, and the analytic recovery-time models (§4)."""
+
+from repro.core.shadow_table import (
+    ShadowAddressTable,
+    ShadowRegionTree,
+    StEntry,
+)
+from repro.core.agit import AgitReadController, AgitPlusController
+from repro.core.asit import AsitController
+from repro.core.recovery_agit import AgitRecovery, AgitRecoveryReport
+from repro.core.recovery_asit import AsitRecovery, AsitRecoveryReport
+from repro.core.recovery_time import (
+    anubis_recovery_time_s,
+    osiris_recovery_time_s,
+)
+
+__all__ = [
+    "ShadowAddressTable",
+    "ShadowRegionTree",
+    "StEntry",
+    "AgitReadController",
+    "AgitPlusController",
+    "AsitController",
+    "AgitRecovery",
+    "AgitRecoveryReport",
+    "AsitRecovery",
+    "AsitRecoveryReport",
+    "anubis_recovery_time_s",
+    "osiris_recovery_time_s",
+]

@@ -1,0 +1,91 @@
+"""AGIT — Anubis for General Integrity Trees (§4.2).
+
+Both variants extend the Bonsai controller (write-back caches, eager
+tree updates, Osiris stop-loss counters) with persistent *address
+tracking*: the Shadow Counter Table (SCT) mirrors the counter cache and
+the Shadow Merkle Table (SMT) mirrors the Merkle-tree cache, one 64-bit
+address per cache slot.  A block's slot is fixed for its residency
+(§4.1), so one 64B shadow-group write per tracked event keeps NVM's
+picture of "what might be dirty on-chip" current.
+
+* :class:`AgitReadController` (AGIT-Read) tracks on every metadata-cache
+  **fill** — the tracking block enters the WPQ before the block enters
+  the cache (Fig. 8a), so NVM always over-approximates the cache
+  contents.  Costly for read-intensive workloads (MCF, §6.1).
+* :class:`AgitPlusController` (AGIT-Plus) tracks only on the **first
+  modification** of a cached block (Fig. 8b) — clean blocks can be lost
+  harmlessly, so tracking them is pure overhead (Fig. 7).  Stale
+  entries left behind by evictions are harmless: recovery re-repairs a
+  block that memory already holds correctly, and the root check is the
+  final arbiter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SchemeKind, SystemConfig
+from repro.controller.bonsai import BonsaiController
+from repro.core.shadow_table import ShadowAddressTable
+from repro.crypto.keys import ProcessorKeys
+from repro.errors import ConfigError
+from repro.mem.layout import MemoryLayout
+from repro.mem.nvm import NvmDevice
+
+
+class _AgitBase(BonsaiController):
+    """Shared SCT/SMT plumbing for both AGIT variants."""
+
+    expected_scheme: SchemeKind
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        layout: MemoryLayout,
+        keys: Optional[ProcessorKeys] = None,
+        nvm: Optional[NvmDevice] = None,
+    ) -> None:
+        if config.scheme != self.expected_scheme:
+            raise ConfigError(
+                f"{type(self).__name__} requires scheme {self.expected_scheme}, "
+                f"got {config.scheme}"
+            )
+        super().__init__(config, layout, keys, nvm)
+        self.sct = ShadowAddressTable(self.counter_cache.num_slots)
+        self.smt = ShadowAddressTable(self.merkle_cache.num_slots)
+
+    def _track_counter(self, slot: int, address: int) -> None:
+        """Persist 'counter-cache slot now holds ``address``' to the SCT."""
+        group, block = self.sct.record(slot, address)
+        self.shadow_write(self.layout.sct.block_address(group), block)
+
+    def _track_merkle(self, slot: int, address: int) -> None:
+        """Persist 'Merkle-cache slot now holds ``address``' to the SMT."""
+        group, block = self.smt.record(slot, address)
+        self.shadow_write(self.layout.smt.block_address(group), block)
+
+
+class AgitReadController(_AgitBase):
+    """AGIT-Read: shadow tables updated on every metadata-cache miss."""
+
+    expected_scheme = SchemeKind.AGIT_READ
+
+    def _on_counter_filled(self, slot: int, address: int) -> None:
+        self._track_counter(slot, address)
+
+    def _on_merkle_filled(self, slot: int, address: int) -> None:
+        self._track_merkle(slot, address)
+
+
+class AgitPlusController(_AgitBase):
+    """AGIT-Plus: shadow tables updated on first modification only."""
+
+    expected_scheme = SchemeKind.AGIT_PLUS
+
+    def _on_counter_dirtied(self, slot: int, address: int, first: bool) -> None:
+        if first:
+            self._track_counter(slot, address)
+
+    def _on_merkle_dirtied(self, slot: int, address: int, first: bool) -> None:
+        if first:
+            self._track_merkle(slot, address)

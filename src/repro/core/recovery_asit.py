@@ -1,0 +1,204 @@
+"""ASIT recovery — Algorithm 2 of the paper.
+
+Nothing here runs Osiris: the Shadow Table *is* the lost cache content.
+Recovery:
+
+1. reads the whole Shadow Table from NVM and recomputes the shadow-
+   region tree's root; a mismatch with the SHADOW_TREE_ROOT register
+   means the ST was tampered with — unrecoverable, full stop;
+2. for each valid entry, reads the tracked node's stale memory copy and
+   splices in the shadow LSBs and MAC (memory supplies only counter
+   MSBs, which the LSB-wrap persist rule keeps truthful);
+3. verifies every recovered node's MAC against its parent nonce —
+   taken from the recovered set when the parent was itself recovered,
+   from memory otherwise (§4.3.2);
+4. writes the recovered nodes back and resets the Shadow Table, leaving
+   NVM exactly as an orderly write-back would have.
+
+Recovery work is O(cache slots): read the ST, read one stale node per
+valid entry, occasionally one parent — no dependence on memory size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.core.asit import AsitController
+from repro.core.shadow_table import ShadowRegionTree, StEntry
+from repro.counters.sgx import SgxCounterBlock
+from repro.errors import MacMismatchError, UnrecoverableError
+from repro.mem.layout import MemoryLayout
+from repro.mem.nvm import NvmDevice
+
+
+@dataclass
+class AsitRecoveryReport:
+    """What one ASIT recovery run did and what it cost."""
+
+    st_blocks_scanned: int = 0
+    valid_entries: int = 0
+    nodes_recovered: int = 0
+    parent_fetches: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    hash_ops: int = 0
+    shadow_root_matched: bool = False
+
+    def estimated_ns(self, step_ns: float = 100.0) -> float:
+        """Recovery time under the paper's 100ns-per-step model."""
+        return (self.memory_reads + self.hash_ops) * step_ns
+
+    def estimated_seconds(self, step_ns: float = 100.0) -> float:
+        """:meth:`estimated_ns` in seconds."""
+        return self.estimated_ns(step_ns) / 1e9
+
+
+class AsitRecovery:
+    """Runs Algorithm 2 against a crashed system's NVM image."""
+
+    def __init__(
+        self,
+        nvm: NvmDevice,
+        layout: MemoryLayout,
+        controller: AsitController,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        self.nvm = nvm
+        self.layout = layout
+        self.controller = controller
+        self.config = config if config is not None else controller.config
+        self.engine = controller.engine
+        self.lsb_bits = self.config.anubis.asit_lsb_bits
+        self.num_slots = controller.metadata_cache.num_slots
+
+    # ------------------------------------------------------------------
+    # step 1: verify the Shadow Table's integrity
+    # ------------------------------------------------------------------
+
+    def _verify_shadow_table(self, report: AsitRecoveryReport) -> None:
+        reads: list = []
+
+        def reader(index: int) -> bytes:
+            return self.nvm.peek(self.layout.st_entry_address(index))
+
+        # Keep the live tree: _commit updates it (and the persistent
+        # root register) entry by entry while resetting the ST, so a
+        # crash during recovery leaves register and table consistent.
+        self._live_tree = ShadowRegionTree.from_reader(
+            self.controller.keys.shadow_key,
+            self.num_slots,
+            reader,
+            tracker=reads,
+        )
+        root = self._live_tree.root
+        report.st_blocks_scanned = len(reads)
+        report.memory_reads += len(reads)
+        report.hash_ops += len(reads)  # one leaf hash per block
+        report.shadow_root_matched = root == self.controller.shadow_tree_root
+        if not report.shadow_root_matched:
+            raise UnrecoverableError(
+                "ASIT recovery failed: SHADOW_TREE_ROOT mismatch — the "
+                "Shadow Table was tampered with or corrupted"
+            )
+
+    # ------------------------------------------------------------------
+    # steps 2-3: splice and verify
+    # ------------------------------------------------------------------
+
+    def _recover_nodes(
+        self, report: AsitRecoveryReport
+    ) -> Dict[int, SgxCounterBlock]:
+        recovered: Dict[int, SgxCounterBlock] = {}
+        for slot in range(self.num_slots):
+            raw = self.nvm.peek(self.layout.st_entry_address(slot))
+            entry = StEntry.from_bytes(raw)
+            if not entry.valid:
+                continue
+            report.valid_entries += 1
+            stale = SgxCounterBlock.from_bytes(self.nvm.peek(entry.address))
+            report.memory_reads += 1
+            stale.splice_lsbs(list(entry.lsbs), entry.mac, self.lsb_bits)
+            recovered[entry.address] = stale
+        return recovered
+
+    def _parent_nonce(
+        self,
+        address: int,
+        recovered: Dict[int, SgxCounterBlock],
+        report: AsitRecoveryReport,
+    ) -> int:
+        """Parent nonce for verification: recovered copy first (§4.3.2)."""
+        level, index = self.layout.locate_node(address)
+        if level == self.layout.root_level - 1:
+            return self.engine.root_nonce_for(index)
+        parent_level, parent_index = self.layout.parent_of(level, index)
+        parent_address = self.layout.node_address(parent_level, parent_index)
+        if parent_address in recovered:
+            parent = recovered[parent_address]
+        else:
+            parent = SgxCounterBlock.from_bytes(self.nvm.peek(parent_address))
+            report.parent_fetches += 1
+            report.memory_reads += 1
+        return parent.counter(self.layout.child_slot(index))
+
+    def _verify_recovered(
+        self,
+        recovered: Dict[int, SgxCounterBlock],
+        report: AsitRecoveryReport,
+    ) -> None:
+        for address in sorted(recovered):
+            node = recovered[address]
+            nonce = self._parent_nonce(address, recovered, report)
+            report.hash_ops += 1
+            if not self.engine.verify(node, nonce):
+                raise MacMismatchError(
+                    f"ASIT recovery failed: recovered node {address:#x} "
+                    "does not verify — memory MSBs were tampered with"
+                )
+
+    # ------------------------------------------------------------------
+    # step 4: commit and reset
+    # ------------------------------------------------------------------
+
+    def _commit(
+        self,
+        recovered: Dict[int, SgxCounterBlock],
+        report: AsitRecoveryReport,
+    ) -> None:
+        for address in sorted(recovered):
+            self.nvm.write(address, recovered[address].to_bytes())
+            report.memory_writes += 1
+            report.nodes_recovered += 1
+        # The write-backs make memory the truth; reset the Shadow Table
+        # so it again mirrors an (empty) cache.  SHADOW_TREE_ROOT must
+        # track every step: the register write after each entry reset
+        # is what makes recovery itself restartable — a crash mid-reset
+        # leaves register and table consistent, and the rerun simply
+        # re-recovers whatever entries survived (idempotently).
+        empty = StEntry.invalid().to_bytes()
+        for slot in range(self.num_slots):
+            st_address = self.layout.st_entry_address(slot)
+            if self.nvm.is_written(st_address):
+                self.nvm.write(st_address, empty)
+                report.memory_writes += 1
+                report.hash_ops += self._live_tree.update(slot, empty)
+                self.controller._persistent_shadow_root = self._live_tree.root
+        # The post-reboot controller starts with an empty live shadow
+        # tree that now matches NVM; retire the carried-over register.
+        if hasattr(self.controller, "_persistent_shadow_root"):
+            del self.controller._persistent_shadow_root
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def run(self) -> AsitRecoveryReport:
+        """Execute Algorithm 2; raises on an unrecoverable state."""
+        report = AsitRecoveryReport()
+        self._verify_shadow_table(report)
+        recovered = self._recover_nodes(report)
+        self._verify_recovered(recovered, report)
+        self._commit(recovered, report)
+        return report

@@ -1,0 +1,233 @@
+"""Anubis shadow-table structures (§4.1, Fig. 6, Fig. 9).
+
+* :class:`ShadowAddressTable` — the AGIT trackers (SCT and SMT): one
+  64-bit address per cache slot, eight addresses packed per 64B NVM
+  block.  The controller keeps an on-chip mirror and rewrites the one
+  affected 64B group on each tracked event.
+* :class:`StEntry` — an ASIT Shadow Table entry (Fig. 9b): the tracked
+  node's address (+ a valid bit in the alignment bits), its 56-bit MAC,
+  and the 49-bit LSBs of its eight counters.  64 + 56 + 8×49 = 512 bits,
+  exactly one 64B block per cache slot.
+* :class:`ShadowRegionTree` — the small eagerly-updated Merkle tree that
+  protects the ASIT Shadow Table; only its root (SHADOW_TREE_ROOT) is
+  persistent, in an on-chip NVM register (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.config import BLOCK_SIZE, TREE_ARITY
+from repro.crypto.hashes import hash64
+from repro.errors import ConfigError
+from repro.util.bitops import extract_bits, insert_bits, mask
+
+_ADDRESSES_PER_BLOCK = 8
+_LSB_BITS = 49
+_MAC_BITS = 56
+_COUNTERS = 8
+
+
+class ShadowAddressTable:
+    """On-chip mirror of an AGIT shadow region (SCT or SMT).
+
+    ``slots[i]`` is the address currently tracked for cache slot *i*
+    (0 = nothing tracked).  :meth:`record` updates a slot and returns
+    the offset and bytes of the one 64B group block that must be
+    rewritten in NVM.
+    """
+
+    addresses_per_block = _ADDRESSES_PER_BLOCK
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ConfigError("shadow table needs at least one slot")
+        self.num_slots = num_slots
+        self.slots: List[int] = [0] * num_slots
+
+    def record(self, slot: int, address: int) -> "tuple[int, bytes]":
+        """Track ``address`` in ``slot``; returns (group_index, block)."""
+        if not 0 <= slot < self.num_slots:
+            raise ConfigError(f"slot {slot} outside shadow table")
+        self.slots[slot] = address
+        group = slot // _ADDRESSES_PER_BLOCK
+        return group, self.group_bytes(group)
+
+    def group_bytes(self, group: int) -> bytes:
+        """Serialize one 8-address group to its 64B NVM block."""
+        out = bytearray()
+        base = group * _ADDRESSES_PER_BLOCK
+        for offset in range(_ADDRESSES_PER_BLOCK):
+            index = base + offset
+            value = self.slots[index] if index < self.num_slots else 0
+            out += value.to_bytes(8, "little")
+        return bytes(out)
+
+    @staticmethod
+    def parse_block(raw: bytes) -> List[int]:
+        """Unpack a 64B group block into its eight tracked addresses."""
+        if len(raw) != BLOCK_SIZE:
+            raise ConfigError("shadow group block must be 64 bytes")
+        return [
+            int.from_bytes(raw[offset : offset + 8], "little")
+            for offset in range(0, BLOCK_SIZE, 8)
+        ]
+
+    @property
+    def num_groups(self) -> int:
+        """Number of 64B group blocks backing this table."""
+        return (self.num_slots + _ADDRESSES_PER_BLOCK - 1) // _ADDRESSES_PER_BLOCK
+
+    def tracked_addresses(self) -> List[int]:
+        """All non-empty tracked addresses (mirror view)."""
+        return [address for address in self.slots if address]
+
+
+@dataclass(frozen=True)
+class StEntry:
+    """One ASIT Shadow Table entry (Fig. 9b)."""
+
+    valid: bool
+    address: int
+    mac: int
+    lsbs: "tuple[int, ...]"
+
+    lsb_bits = _LSB_BITS
+
+    def to_bytes(self) -> bytes:
+        """Pack to 64 bytes: addr|valid, MAC, eight 49-bit LSB fields."""
+        if len(self.lsbs) != _COUNTERS:
+            raise ConfigError("ST entry needs eight LSB fields")
+        word = (self.address & ~mask(1)) | (1 if self.valid else 0)
+        offset = 64
+        word = insert_bits(word, offset, _MAC_BITS, self.mac & mask(_MAC_BITS))
+        offset += _MAC_BITS
+        for lsb in self.lsbs:
+            word = insert_bits(word, offset, _LSB_BITS, lsb & mask(_LSB_BITS))
+            offset += _LSB_BITS
+        return word.to_bytes(BLOCK_SIZE, "little")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "StEntry":
+        """Inverse of :meth:`to_bytes`."""
+        if len(raw) != BLOCK_SIZE:
+            raise ConfigError("ST entry must be 64 bytes")
+        word = int.from_bytes(raw, "little")
+        valid = bool(word & 1)
+        address = extract_bits(word, 0, 64) & ~mask(1)
+        mac = extract_bits(word, 64, _MAC_BITS)
+        lsbs = tuple(
+            extract_bits(word, 64 + _MAC_BITS + i * _LSB_BITS, _LSB_BITS)
+            for i in range(_COUNTERS)
+        )
+        return cls(valid=valid, address=address, mac=mac, lsbs=lsbs)
+
+    @classmethod
+    def invalid(cls) -> "StEntry":
+        """An empty (untracked) entry."""
+        return cls(valid=False, address=0, mac=0, lsbs=(0,) * _COUNTERS)
+
+
+class ShadowRegionTree:
+    """Eagerly-updated 8-ary hash tree over the ASIT Shadow Table.
+
+    The leaves are the hashes of the ST's 64B entry blocks.  Every ST
+    update recomputes one leaf-to-root path (a handful of hashes for a
+    256KB-class table — "3-4 levels", §4.3.1).  The intermediate nodes
+    are volatile; only :attr:`root` is persistent on-chip, which is all
+    recovery needs: it recomputes the root from the NVM copy of the ST
+    and compares.
+    """
+
+    def __init__(self, key: bytes, num_leaves: int) -> None:
+        if num_leaves <= 0:
+            raise ConfigError("shadow region tree needs leaves")
+        self.key = key
+        self.num_leaves = num_leaves
+        empty = self._leaf_hash(bytes(BLOCK_SIZE))
+        self.levels: List[List[int]] = [[empty] * num_leaves]
+        while len(self.levels[-1]) > 1:
+            below = self.levels[-1]
+            count = (len(below) + TREE_ARITY - 1) // TREE_ARITY
+            self.levels.append([0] * count)
+        for level in range(1, len(self.levels)):
+            for index in range(len(self.levels[level])):
+                self.levels[level][index] = self._node_hash(level, index)
+
+    def _leaf_hash(self, block: bytes) -> int:
+        return hash64(self.key, block)
+
+    def _node_hash(self, level: int, index: int) -> int:
+        below = self.levels[level - 1]
+        payload = bytearray()
+        for child in range(index * TREE_ARITY, (index + 1) * TREE_ARITY):
+            value = below[child] if child < len(below) else 0
+            payload += value.to_bytes(8, "little")
+        return hash64(self.key, bytes(payload))
+
+    def update(self, leaf_index: int, block: bytes) -> int:
+        """Fold a new ST entry block into the tree; returns the number
+        of hash computations (for latency accounting)."""
+        if not 0 <= leaf_index < self.num_leaves:
+            raise ConfigError(f"leaf {leaf_index} outside shadow tree")
+        self.levels[0][leaf_index] = self._leaf_hash(block)
+        hashes = 1
+        index = leaf_index
+        for level in range(1, len(self.levels)):
+            index //= TREE_ARITY
+            self.levels[level][index] = self._node_hash(level, index)
+            hashes += 1
+        return hashes
+
+    @property
+    def root(self) -> int:
+        """SHADOW_TREE_ROOT — the only persistent piece of this tree."""
+        return self.levels[-1][0]
+
+    @classmethod
+    def from_reader(
+        cls,
+        key: bytes,
+        num_leaves: int,
+        reader: Callable[[int], bytes],
+        tracker: Optional[List[int]] = None,
+    ) -> "ShadowRegionTree":
+        """Build a live tree from ST blocks read via ``reader(index)``.
+
+        Used at recovery time against the NVM copy of the Shadow Table;
+        the recovery engine keeps updating the returned tree while it
+        resets entries, so SHADOW_TREE_ROOT can track the reset
+        transactionally.  ``tracker``, if given, receives one element
+        per block read (for recovery-time accounting).
+        """
+        tree = cls.__new__(cls)
+        tree.key = key
+        tree.num_leaves = num_leaves
+        tree.levels = [[0] * num_leaves]
+        for index in range(num_leaves):
+            block = reader(index)
+            if tracker is not None:
+                tracker.append(index)
+            tree.levels[0][index] = tree._leaf_hash(block)
+        while len(tree.levels[-1]) > 1:
+            below = tree.levels[-1]
+            count = (len(below) + TREE_ARITY - 1) // TREE_ARITY
+            tree.levels.append(
+                [0] * count
+            )
+            level = len(tree.levels) - 1
+            for index in range(count):
+                tree.levels[level][index] = tree._node_hash(level, index)
+        return tree
+
+    @classmethod
+    def compute_root(
+        cls,
+        key: bytes,
+        num_leaves: int,
+        reader: Callable[[int], bytes],
+        tracker: Optional[List[int]] = None,
+    ) -> int:
+        """Root over ST blocks read via ``reader(index)`` (convenience)."""
+        return cls.from_reader(key, num_leaves, reader, tracker).root

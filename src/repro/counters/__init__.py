@@ -1,0 +1,6 @@
+"""Encryption-counter block formats: split-counter and SGX-style."""
+
+from repro.counters.split import SplitCounterBlock
+from repro.counters.sgx import SgxCounterBlock
+
+__all__ = ["SplitCounterBlock", "SgxCounterBlock"]

@@ -1,0 +1,117 @@
+"""Split-counter blocks (§2.2, Fig. 1).
+
+One 64B block per 4KB page: a 64-bit *major* counter shared by the page
+plus 64 seven-bit *minor* counters, one per cache line.  A line's IV is
+(address, major, minor).  When a minor counter overflows, the major is
+incremented, every minor resets to zero, and the whole page must be
+re-encrypted under the new major — the caller (controller) performs the
+re-encryption.
+
+The bit budget is exact: 64 + 64×7 = 512 bits = 64 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import BLOCK_SIZE
+from repro.errors import ConfigError
+from repro.util.bitops import mask
+
+_MINOR_BITS = 7
+_MAJOR_BITS = 64
+_MINORS_PER_BLOCK = 64
+_MINOR_MAX = mask(_MINOR_BITS)
+
+
+class SplitCounterBlock:
+    """Mutable split-counter block for one page."""
+
+    __slots__ = ("major", "minors")
+
+    minors_per_block = _MINORS_PER_BLOCK
+    minor_bits = _MINOR_BITS
+
+    def __init__(self, major: int = 0, minors: "List[int] | None" = None) -> None:
+        if minors is None:
+            minors = [0] * _MINORS_PER_BLOCK
+        if len(minors) != _MINORS_PER_BLOCK:
+            raise ConfigError(
+                f"split-counter block needs {_MINORS_PER_BLOCK} minors"
+            )
+        for minor in minors:
+            if not 0 <= minor <= _MINOR_MAX:
+                raise ConfigError(f"minor counter {minor} out of 7-bit range")
+        self.major = major & mask(_MAJOR_BITS)
+        self.minors = list(minors)
+
+    def minor(self, slot: int) -> int:
+        """Read the minor counter of line ``slot`` (0..63)."""
+        return self.minors[slot]
+
+    def increment(self, slot: int) -> bool:
+        """Bump line ``slot``'s minor; returns True on overflow.
+
+        On overflow the major is incremented and *all* minors reset —
+        the caller must re-encrypt the whole page under the new major.
+        """
+        if self.minors[slot] < _MINOR_MAX:
+            self.minors[slot] += 1
+            return False
+        self.major = (self.major + 1) & mask(_MAJOR_BITS)
+        self.minors = [0] * _MINORS_PER_BLOCK
+        return True
+
+    def iv_pair(self, slot: int) -> "tuple[int, int]":
+        """(major, minor) pair feeding the line's IV."""
+        return self.major, self.minors[slot]
+
+    # ------------------------------------------------------------------
+    # 64B wire format
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize: major in bits [0,64), minor *i* at 64 + 7i."""
+        # Hot path (hashed on every tree update): direct shifts instead
+        # of the checked bit-field helpers.
+        word = self.major
+        offset = _MAJOR_BITS
+        for minor in self.minors:
+            word |= minor << offset
+            offset += _MINOR_BITS
+        return word.to_bytes(BLOCK_SIZE, "little")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "SplitCounterBlock":
+        """Inverse of :meth:`to_bytes`."""
+        if len(raw) != BLOCK_SIZE:
+            raise ConfigError(f"counter block must be {BLOCK_SIZE} bytes")
+        word = int.from_bytes(raw, "little")
+        major = word & mask(_MAJOR_BITS)
+        word >>= _MAJOR_BITS
+        minors = []
+        for _ in range(_MINORS_PER_BLOCK):
+            minors.append(word & _MINOR_MAX)
+            word >>= _MINOR_BITS
+        return cls(major, minors)
+
+    def copy(self) -> "SplitCounterBlock":
+        """Deep copy (controllers snapshot blocks before mutation)."""
+        return SplitCounterBlock(self.major, list(self.minors))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SplitCounterBlock)
+            and other.major == self.major
+            and other.minors == self.minors
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - blocks are dict values
+        return hash((self.major, tuple(self.minors)))
+
+    def __repr__(self) -> str:
+        touched = sum(1 for minor in self.minors if minor)
+        return (
+            f"SplitCounterBlock(major={self.major}, "
+            f"touched_minors={touched}/{_MINORS_PER_BLOCK})"
+        )

@@ -1,0 +1,79 @@
+"""Hash and MAC primitives for integrity trees.
+
+Field widths follow the paper: general (Bonsai) trees store eight 8-byte
+hashes per 64B node, so child hashes are 64-bit; SGX-style nodes carry a
+56-bit MAC computed over the node's eight nonces and one nonce from the
+parent node (§2.3.2, Fig. 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.util.bitops import mask
+
+#: Width of a Bonsai child hash in bytes (8 hashes fill a 64B node).
+HASH64_BYTES = 8
+
+#: Width of an SGX node MAC in bits (Fig. 9b / §4.3).
+MAC_BITS = 56
+
+
+def truncated_digest(key: bytes, payload: bytes, digest_size: int) -> bytes:
+    """Keyed BLAKE2b digest truncated to ``digest_size`` bytes."""
+    return hashlib.blake2b(payload, key=key, digest_size=digest_size).digest()
+
+
+def hash64(key: bytes, payload: bytes) -> int:
+    """64-bit keyed hash used for Bonsai tree nodes.
+
+    Returns an integer so callers can pack eight of them into a node.
+    """
+    digest = truncated_digest(key, payload, HASH64_BYTES)
+    return int.from_bytes(digest, "little")
+
+
+def node_hash(key: bytes, node_bytes: bytes, address: int) -> int:
+    """Hash of a whole 64B child node, bound to its address.
+
+    Binding the address prevents a splicing attack where a valid node is
+    replayed at a different tree position.
+    """
+    payload = address.to_bytes(8, "little") + node_bytes
+    return hash64(key, payload)
+
+
+def mac56(key: bytes, payload: bytes) -> int:
+    """56-bit keyed MAC used by SGX-style tree nodes and shadow entries."""
+    digest = truncated_digest(key, payload, 8)
+    return int.from_bytes(digest, "little") & mask(MAC_BITS)
+
+
+def sgx_node_mac(
+    key: bytes,
+    address: int,
+    counters: "list[int]",
+    parent_nonce: int,
+) -> int:
+    """MAC over an SGX node's counters and its parent nonce (Fig. 3).
+
+    The MAC covers the node address (anti-splicing), every 56-bit counter
+    in the node, and the single counter in the parent node that versions
+    this node.
+    """
+    payload = bytearray(address.to_bytes(8, "little"))
+    for counter in counters:
+        payload += counter.to_bytes(8, "little")
+    payload += parent_nonce.to_bytes(8, "little")
+    return mac56(key, bytes(payload))
+
+
+def data_mac(key: bytes, address: int, counter_iv: bytes, data: bytes) -> int:
+    """Bonsai-style data MAC over (address, counter, data) (§2.3).
+
+    In a Bonsai Merkle Tree system the tree protects only the counters;
+    each data line carries a MAC over the line, its address, and its
+    encryption counter.
+    """
+    payload = address.to_bytes(8, "little") + counter_iv + data
+    return mac56(key, payload)

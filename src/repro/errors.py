@@ -1,0 +1,75 @@
+"""Exception hierarchy for the Anubis reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the interesting classes (integrity
+violations, unrecoverable crashes, configuration mistakes).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class LayoutError(ReproError):
+    """A physical address falls outside the region it was mapped to."""
+
+
+class AlignmentError(LayoutError):
+    """An address is not aligned to the required block granularity."""
+
+
+class IntegrityError(ReproError):
+    """An integrity check (hash, MAC, or tree root comparison) failed.
+
+    Raised when the secure memory controller detects tampering or
+    corruption: a Merkle-tree node whose hash does not match its parent's
+    record of it, an SGX-style node whose MAC does not verify, or a
+    reconstructed root that differs from the on-chip root.
+    """
+
+
+class RootMismatchError(IntegrityError):
+    """The reconstructed Merkle-tree root does not match the on-chip root."""
+
+
+class MacMismatchError(IntegrityError):
+    """A node MAC does not verify against its contents (SGX-style tree)."""
+
+
+class EccError(ReproError):
+    """Decoded data failed its ECC sanity check (wrong counter or corrupt)."""
+
+
+class CounterOverflowError(ReproError):
+    """A minor counter overflowed and page re-encryption is required but
+    the caller disabled it."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent, verified state."""
+
+
+class UnrecoverableError(RecoveryError):
+    """Recovery failed terminally (e.g. tampered shadow table, lost
+    intermediate SGX node without ASIT protection)."""
+
+
+class CrashError(ReproError):
+    """Misuse of the crash-injection machinery (e.g. recovering a system
+    that never crashed)."""
+
+
+class WpqError(ReproError):
+    """Write-pending-queue protocol violation (overflow without drain,
+    commit without staged registers, ...)."""
+
+
+class TraceError(ReproError):
+    """A trace record is malformed or incompatible with the system size."""

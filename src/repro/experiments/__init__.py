@@ -1,0 +1,42 @@
+"""Experiment harness: one module per paper figure, plus reporting.
+
+Each module exposes a ``run(...)`` function returning a structured
+result and a ``format_table(result)`` helper printing the same rows the
+paper's figure plots.  ``python -m repro.experiments`` runs them all
+(see :mod:`repro.experiments.runner`).
+
+| Paper figure | Module |
+|---|---|
+| Fig. 5 — Osiris recovery time vs memory size | :mod:`repro.experiments.fig05_recovery_osiris` |
+| Fig. 7 — clean vs dirty counter-cache evictions | :mod:`repro.experiments.fig07_clean_evictions` |
+| Fig. 10 — AGIT performance | :mod:`repro.experiments.fig10_agit_perf` |
+| Fig. 11 — ASIT performance | :mod:`repro.experiments.fig11_asit_perf` |
+| Fig. 12 — Anubis recovery time vs cache size | :mod:`repro.experiments.fig12_recovery_time` |
+| Fig. 13 — performance sensitivity to cache size | :mod:`repro.experiments.fig13_cache_sensitivity` |
+| headline numbers (abstract/§1) | :mod:`repro.experiments.headline` |
+| extra: recovery vs dirty footprint | :mod:`repro.experiments.extra_dirty_footprint` |
+"""
+
+from repro.experiments import (
+    extra_dirty_footprint,
+    fig05_recovery_osiris,
+    fig07_clean_evictions,
+    fig10_agit_perf,
+    fig11_asit_perf,
+    fig12_recovery_time,
+    fig13_cache_sensitivity,
+    headline,
+)
+from repro.experiments.reporting import format_markdown_table
+
+__all__ = [
+    "extra_dirty_footprint",
+    "fig05_recovery_osiris",
+    "fig07_clean_evictions",
+    "fig10_agit_perf",
+    "fig11_asit_perf",
+    "fig12_recovery_time",
+    "fig13_cache_sensitivity",
+    "headline",
+    "format_markdown_table",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — run the full figure suite."""
+
+import sys
+
+from repro.experiments.runner import main
+
+sys.exit(main())

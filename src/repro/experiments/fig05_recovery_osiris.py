@@ -1,0 +1,101 @@
+"""Figure 5 — Osiris recovery time for different memory sizes.
+
+The paper plots whole-memory recovery time (counter recovery + Merkle
+tree reconstruction, 100ns per step) for capacities from 128GB to 8TB,
+reaching ≈7.8 hours at 8TB.  This experiment evaluates the same
+analytic model at the same points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import GIB, TIB
+from repro.core.recovery_time import osiris_recovery_time_s
+from repro.experiments.reporting import format_markdown_table, format_seconds
+
+#: Capacities on the paper's x-axis.
+DEFAULT_CAPACITIES = [
+    128 * GIB,
+    256 * GIB,
+    512 * GIB,
+    1 * TIB,
+    2 * TIB,
+    4 * TIB,
+    8 * TIB,
+]
+
+
+@dataclass
+class Fig05Result:
+    """Recovery seconds per capacity, paper model."""
+
+    capacities: List[int]
+    recovery_seconds: Dict[int, float]
+
+    @property
+    def hours_at_8tb(self) -> float:
+        """The headline number the paper quotes (7.8 hours)."""
+        return self.recovery_seconds[8 * TIB] / 3600.0
+
+
+def run(
+    capacities: "List[int] | None" = None, stop_loss: int = 4
+) -> Fig05Result:
+    """Evaluate Osiris recovery time at each capacity."""
+    points = list(capacities) if capacities is not None else DEFAULT_CAPACITIES
+    seconds = {
+        capacity: osiris_recovery_time_s(capacity, stop_loss)
+        for capacity in points
+    }
+    return Fig05Result(capacities=points, recovery_seconds=seconds)
+
+
+def format_table(result: Fig05Result) -> str:
+    """Render the figure's series as a table."""
+    rows = []
+    for capacity in result.capacities:
+        seconds = result.recovery_seconds[capacity]
+        rows.append(
+            (
+                f"{capacity // GIB} GB"
+                if capacity < TIB
+                else f"{capacity // TIB} TB",
+                f"{seconds:.0f}",
+                format_seconds(seconds),
+            )
+        )
+    return format_markdown_table(
+        ["capacity", "recovery (s)", "recovery (human)"], rows
+    )
+
+
+def format_chart(result: Fig05Result, width: int = 40) -> str:
+    """Bar chart of recovery time per capacity."""
+    from repro.experiments.plotting import bar_chart
+
+    items = [
+        (
+            f"{capacity // GIB} GB"
+            if capacity < TIB
+            else f"{capacity // TIB} TB",
+            round(result.recovery_seconds[capacity], 1),
+        )
+        for capacity in result.capacities
+    ]
+    return bar_chart(items, width=width, unit=" s")
+
+
+def main() -> None:
+    """Print the Fig. 5 reproduction."""
+    result = run()
+    print("Figure 5 — Osiris recovery time vs memory size")
+    print(format_table(result))
+    print()
+    print(format_chart(result))
+    print(f"\n8TB recovery: {result.hours_at_8tb:.2f} hours (paper: ~7.8 h)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Terminal bar charts for the experiment harness.
+
+The paper's evaluation is bar charts; these helpers render the same
+series as unicode horizontal bars so ``python -m repro.experiments``
+output reads like the figures, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_FULL = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render ``value`` as a bar of at most ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = max(value, 0.0) / scale * width
+    whole = int(cells)
+    remainder = cells - whole
+    bar = _FULL * min(whole, width)
+    if whole < width:
+        eighths = int(remainder * 8)
+        if eighths:
+            bar += _PARTIAL[eighths]
+    return bar
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """One horizontal bar per (label, value) pair.
+
+    ``baseline`` draws a ``|`` marker at that value on every row —
+    useful for normalized-performance charts where 1.0 is the
+    write-back reference.
+    """
+    if not items:
+        return "(no data)"
+    label_width = max(len(label) for label, _value in items)
+    scale = max(value for _label, value in items)
+    if baseline is not None:
+        scale = max(scale, baseline)
+    lines: List[str] = []
+    for label, value in items:
+        bar = _bar(value, scale, width)
+        row = f"{label:<{label_width}} | {bar}"
+        if baseline is not None and scale > 0:
+            marker = int(baseline / scale * width)
+            padded = list(row.ljust(label_width + 3 + width))
+            position = label_width + 3 + min(marker, width - 1)
+            if padded[position] == " ":
+                padded[position] = "·"
+            row = "".join(padded)
+        lines.append(f"{row} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Figure-style chart: one labelled cluster of bars per benchmark.
+
+    ``groups`` is ``[(group_label, [(series_label, value), ...]), ...]``.
+    All bars share one scale so clusters are visually comparable.
+    """
+    if not groups:
+        return "(no data)"
+    series_width = max(
+        len(label) for _group, series in groups for label, _value in series
+    )
+    scale = max(
+        value for _group, series in groups for _label, value in series
+    )
+    if baseline is not None:
+        scale = max(scale, baseline)
+    lines: List[str] = []
+    for group_label, series in groups:
+        lines.append(f"{group_label}:")
+        for label, value in series:
+            bar = _bar(value, scale, width)
+            lines.append(f"  {label:<{series_width}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    series: Dict[str, Dict[int, float]],
+    x_format=lambda x: str(x),
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render sweep results (e.g. cache-size sensitivity) per series."""
+    if not series:
+        return "(no data)"
+    lines: List[str] = []
+    scale = max(
+        value for points in series.values() for value in points.values()
+    )
+    x_labels = [
+        x_format(x) for x in sorted(next(iter(series.values())))
+    ]
+    x_width = max(len(label) for label in x_labels)
+    for name, points in series.items():
+        lines.append(f"{name}:")
+        for x in sorted(points):
+            bar = _bar(points[x], scale, width)
+            lines.append(
+                f"  {x_format(x):>{x_width}} | {bar} {points[x]:g}{unit}"
+            )
+    return "\n".join(lines)

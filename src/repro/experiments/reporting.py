@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a GitHub-style markdown table with aligned columns."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[column]) for row in cells))
+        if cells
+        else len(header)
+        for column, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    lines.append(
+        "| "
+        + " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+        + " |"
+    )
+    lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+    for row in cells:
+        lines.append(
+            "| "
+            + " | ".join(value.ljust(width) for value, width in zip(row, widths))
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration: ns/µs/ms/s/hours as appropriate."""
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f} h"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} µs"
+    return f"{seconds * 1e9:.0f} ns"

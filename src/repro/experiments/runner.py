@@ -1,0 +1,209 @@
+"""Run every experiment and print every table.
+
+Usage::
+
+    python -m repro.experiments                  # quick pass (small traces)
+    python -m repro.experiments --full           # paper-scale traces (slower)
+    python -m repro.experiments fig10            # one experiment only
+    python -m repro.experiments --json out.json  # machine-readable results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    extra_dirty_footprint,
+    fig05_recovery_osiris,
+    fig07_clean_evictions,
+    fig10_agit_perf,
+    fig11_asit_perf,
+    fig12_recovery_time,
+    fig13_cache_sensitivity,
+    headline,
+)
+
+
+def _run_fig05(full: bool) -> dict:
+    result = fig05_recovery_osiris.run()
+    print("Figure 5 — Osiris recovery time vs memory size")
+    print(fig05_recovery_osiris.format_table(result))
+    print()
+    print(fig05_recovery_osiris.format_chart(result))
+    return {
+        "recovery_seconds": {
+            str(capacity): result.recovery_seconds[capacity]
+            for capacity in result.capacities
+        },
+        "hours_at_8tb": result.hours_at_8tb,
+    }
+
+
+def _run_fig07(full: bool) -> dict:
+    result = fig07_clean_evictions.run(
+        trace_length=40_000 if full else 12_000
+    )
+    print("Figure 7 — counter-cache eviction split (write-back baseline)")
+    print(fig07_clean_evictions.format_table(result))
+    return {
+        "clean_fraction": {
+            name: result.clean_fraction(name) for name in result.benchmarks
+        }
+    }
+
+
+def _run_fig10(full: bool) -> dict:
+    result = fig10_agit_perf.run(trace_length=30_000 if full else 10_000)
+    print("Figure 10 — AGIT performance (normalized to write-back)")
+    print(fig10_agit_perf.format_table(result))
+    return {
+        "gmean_overhead_percent": {
+            scheme.value: value for scheme, value in result.averages.items()
+        },
+        "normalized": {
+            comparison.benchmark: {
+                scheme.value: comparison.normalized_time(scheme)
+                for scheme in comparison.schemes()
+            }
+            for comparison in result.comparisons
+        },
+    }
+
+
+def _run_fig11(full: bool) -> dict:
+    result = fig11_asit_perf.run(trace_length=30_000 if full else 10_000)
+    print("Figure 11 — ASIT performance (normalized to write-back)")
+    print(fig11_asit_perf.format_table(result))
+    return {
+        "gmean_overhead_percent": {
+            scheme.value: value for scheme, value in result.averages.items()
+        },
+        "extra_writes_per_data_write": {
+            scheme.value: value
+            for scheme, value in result.extra_writes.items()
+        },
+    }
+
+
+def _run_fig12(full: bool) -> dict:
+    result = fig12_recovery_time.run(functional=full)
+    print("Figure 12 — Anubis recovery time vs metadata cache size")
+    print(fig12_recovery_time.format_table(result))
+    return {
+        "agit_analytic": {
+            str(size): result.agit_analytic[size]
+            for size in result.cache_sizes
+        },
+        "asit_analytic": {
+            str(size): result.asit_analytic[size]
+            for size in result.cache_sizes
+        },
+        "agit_functional": {
+            str(size): value
+            for size, value in result.agit_functional.items()
+        },
+        "asit_functional": {
+            str(size): value
+            for size, value in result.asit_functional.items()
+        },
+    }
+
+
+def _run_fig13(full: bool) -> dict:
+    result = fig13_cache_sensitivity.run(
+        trace_length=20_000 if full else 8_000
+    )
+    print(f"Figure 13 — cache-size sensitivity ({result.benchmark})")
+    print(fig13_cache_sensitivity.format_table(result))
+    return {
+        "normalized": {
+            scheme.value: {str(size): value for size, value in series.items()}
+            for scheme, series in result.normalized.items()
+        }
+    }
+
+
+def _run_headline(full: bool) -> dict:
+    result = headline.run()
+    print("Headline — recovery-time comparison")
+    print(headline.format_table(result))
+    return {
+        "osiris_seconds": result.osiris_seconds,
+        "agit_seconds": result.agit_seconds,
+        "speedup": result.speedup,
+    }
+
+
+def _run_dirty_footprint(full: bool) -> dict:
+    footprints = None if full else [64, 256, 1024, 2048]
+    result = extra_dirty_footprint.run(footprints=footprints)
+    print("Extra — AGIT recovery work vs dirty footprint")
+    print(extra_dirty_footprint.format_table(result))
+    return {
+        "tracked_blocks": {
+            str(pages): result.tracked_blocks[pages]
+            for pages in result.footprints
+        },
+        "recovery_seconds": {
+            str(pages): result.recovery_seconds[pages]
+            for pages in result.footprints
+        },
+    }
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], dict]] = {
+    "fig05": _run_fig05,
+    "fig07": _run_fig07,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "headline": _run_headline,
+    "dirty_footprint": _run_dirty_footprint,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the Anubis paper's figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, []],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale trace lengths and functional recovery sweeps",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write structured results to a JSON file",
+    )
+    args = parser.parse_args(argv)
+    selected = args.experiments or list(EXPERIMENTS)
+    collected: Dict[str, dict] = {}
+    for name in selected:
+        start = time.time()
+        print("=" * 72)
+        collected[name] = EXPERIMENTS[name](args.full)
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    if args.json:
+        with open(args.json, "w") as stream:
+            json.dump(collected, stream, indent=2, sort_keys=True)
+        print(f"structured results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

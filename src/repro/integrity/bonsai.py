@@ -1,0 +1,188 @@
+"""General (Bonsai-style) non-parallelizable Merkle tree (§2.3.1, Fig. 2).
+
+Each 64B node holds eight 64-bit keyed hashes, one per 64B child; the
+leaves (level 0) are split-counter blocks.  The root-level node (one 64B
+node of hashes over the top stored level) is held on-chip; its own hash
+is the *root value* compared after recovery.
+
+Hashes are position-free (a zero child hashes identically anywhere),
+which lets an untouched terabyte-scale tree be represented by one
+*default node* per level instead of materializing 10^8 nodes — the same
+lazy-zero trick hardware gets from zero-initialized memory.  Spatial
+splicing of data is still prevented because data-line encryption IVs and
+data MACs bind the line address.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+_NODE_STRUCT = struct.Struct("<8Q")
+
+from repro.config import BLOCK_SIZE, TREE_ARITY
+from repro.crypto.hashes import hash64
+from repro.crypto.keys import ProcessorKeys
+from repro.errors import ConfigError
+from repro.mem.layout import MemoryLayout
+
+
+class BonsaiNode:
+    """Mutable tree node: eight 64-bit child hashes."""
+
+    __slots__ = ("hashes",)
+
+    def __init__(self, hashes: "List[int] | None" = None) -> None:
+        if hashes is None:
+            hashes = [0] * TREE_ARITY
+        if len(hashes) != TREE_ARITY:
+            raise ConfigError(f"Bonsai node needs {TREE_ARITY} hashes")
+        self.hashes = list(hashes)
+
+    def child_hash(self, slot: int) -> int:
+        """Stored hash of child ``slot``."""
+        return self.hashes[slot]
+
+    def set_child_hash(self, slot: int, value: int) -> None:
+        """Record a child's new hash."""
+        self.hashes[slot] = value & ((1 << 64) - 1)
+
+    def to_bytes(self) -> bytes:
+        """Serialize: hash *i* is the little-endian u64 at byte 8i."""
+        return _NODE_STRUCT.pack(*self.hashes)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BonsaiNode":
+        """Inverse of :meth:`to_bytes`."""
+        if len(raw) != BLOCK_SIZE:
+            raise ConfigError(f"Bonsai node must be {BLOCK_SIZE} bytes")
+        return cls(list(_NODE_STRUCT.unpack(raw)))
+
+    def copy(self) -> "BonsaiNode":
+        """Deep copy."""
+        return BonsaiNode(list(self.hashes))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BonsaiNode) and other.hashes == self.hashes
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return hash(tuple(self.hashes))
+
+    def __repr__(self) -> str:
+        return f"BonsaiNode({[hex(h) for h in self.hashes]})"
+
+
+class BonsaiTreeEngine:
+    """Hash helpers, lazy-zero defaults, and the on-chip root node.
+
+    The engine is deliberately free of cache/timing concerns: the secure
+    memory controller owns fetch/evict traffic and calls in here for the
+    pure tree math, so the recovery engines can reuse the exact same
+    math against raw NVM contents.
+    """
+
+    def __init__(self, keys: ProcessorKeys, layout: MemoryLayout) -> None:
+        self.keys = keys
+        self.layout = layout
+        # Per-level default node bytes for untouched regions. Level 0's
+        # default is the all-zero split-counter block (which serializes
+        # to zero bytes, the NVM's natural default); level k's default
+        # node holds eight hashes of the level k-1 default.
+        self._default_bytes: List[bytes] = [bytes(BLOCK_SIZE)]
+        for _level in range(1, layout.root_level + 1):
+            child = self._default_bytes[-1]
+            child_hash = self.block_hash(child)
+            node = BonsaiNode([child_hash] * TREE_ARITY)
+            self._default_bytes.append(node.to_bytes())
+        #: On-chip root-level node. Survives crashes (NVM register).
+        self.root_node = BonsaiNode.from_bytes(
+            self._default_bytes[layout.root_level]
+        )
+
+    # ------------------------------------------------------------------
+    # pure hash math
+    # ------------------------------------------------------------------
+
+    def block_hash(self, block_bytes: bytes) -> int:
+        """64-bit keyed hash of a 64B child block (counter block or node)."""
+        return hash64(self.keys.tree_key, block_bytes)
+
+    def root_value(self) -> int:
+        """The root hash — the single value 'kept inside the processor'."""
+        return self.block_hash(self.root_node.to_bytes())
+
+    def default_node_bytes(self, level: int) -> bytes:
+        """Serialized default (all-zero subtree) node for ``level``."""
+        return self._default_bytes[level]
+
+    def default_provider(self, address: int) -> bytes:
+        """NVM default-content hook: untouched tree blocks read as the
+        level's default node, so a fresh system verifies end to end."""
+        for level, region in enumerate(self.layout.level_regions):
+            if region.contains(address):
+                return self._default_bytes[level]
+        return bytes(BLOCK_SIZE)
+
+    def verify_child(
+        self, parent: BonsaiNode, child_slot: int, child_bytes: bytes
+    ) -> bool:
+        """Does the parent's recorded hash match the child's content?"""
+        return parent.child_hash(child_slot) == self.block_hash(child_bytes)
+
+    # ------------------------------------------------------------------
+    # root maintenance (eager update scheme keeps this current)
+    # ------------------------------------------------------------------
+
+    def update_root_child(self, child_index: int, child_bytes: bytes) -> None:
+        """Record a top-stored-level node's new hash in the on-chip root."""
+        slot = self.layout.child_slot(child_index)
+        self.root_node.set_child_hash(slot, self.block_hash(child_bytes))
+
+    def verify_against_root(self, child_index: int, child_bytes: bytes) -> bool:
+        """Verify a top-stored-level node directly against the root."""
+        slot = self.layout.child_slot(child_index)
+        return self.root_node.child_hash(slot) == self.block_hash(child_bytes)
+
+    # ------------------------------------------------------------------
+    # whole-tree reconstruction (used by Osiris-style full recovery and
+    # by tests as the ground-truth oracle)
+    # ------------------------------------------------------------------
+
+    def rebuild_level(
+        self, level: int, child_reader, parent_index: int
+    ) -> BonsaiNode:
+        """Recompute one node at ``level`` from its children.
+
+        ``child_reader(address) -> bytes`` supplies child content (raw
+        NVM for recovery, or any oracle in tests).  Missing trailing
+        children (a short last node) hash the level's default child.
+        """
+        if level == 0:
+            raise ConfigError("level 0 has no children to rebuild from")
+        node = BonsaiNode()
+        children = self.layout.children_of(level, parent_index)
+        for slot in range(TREE_ARITY):
+            if slot < len(children):
+                child_level, child_index = children[slot]
+                child_bytes = child_reader(
+                    self.layout.node_address(child_level, child_index)
+                )
+            else:
+                child_bytes = self._default_bytes[level - 1]
+            node.set_child_hash(slot, self.block_hash(child_bytes))
+        return node
+
+    def rebuild_root(self, child_reader) -> BonsaiNode:
+        """Recompute the on-chip root node from the top stored level."""
+        root_level = self.layout.root_level
+        node = BonsaiNode()
+        top_count = self.layout.level_counts[root_level - 1]
+        for slot in range(TREE_ARITY):
+            if slot < top_count:
+                child_bytes = child_reader(
+                    self.layout.node_address(root_level - 1, slot)
+                )
+            else:
+                child_bytes = self._default_bytes[root_level - 1]
+            node.set_child_hash(slot, self.block_hash(child_bytes))
+        return node

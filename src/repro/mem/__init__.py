@@ -1,0 +1,18 @@
+"""Memory substrate: physical layout, NVM device, timing, WPQ/ADR, ECC."""
+
+from repro.mem.layout import MemoryLayout, Region
+from repro.mem.nvm import NvmDevice
+from repro.mem.timing import MemoryChannel
+from repro.mem.wpq import WritePendingQueue, PersistentRegisters
+from repro.mem.ecc import SecdedCodec, ECC_BYTES
+
+__all__ = [
+    "MemoryLayout",
+    "Region",
+    "NvmDevice",
+    "MemoryChannel",
+    "WritePendingQueue",
+    "PersistentRegisters",
+    "SecdedCodec",
+    "ECC_BYTES",
+]

@@ -1,0 +1,187 @@
+"""Functional model of the non-volatile main memory device.
+
+The device stores real bytes (ciphertext, metadata blocks) sparsely in a
+dict keyed by block address — a 16GB (or 8TB) memory costs only as much
+host RAM as the blocks actually touched.  It also keeps the endurance
+accounting the paper argues from: total writes, writes per region, and
+per-block write counts (NVM cells wear out; strict persistence's ~10
+extra writes per write is one of its disqualifying costs, §6.2).
+
+Crash semantics: the device content *is* the persistent domain.  Crash
+injection (``repro.recovery.crash``) simply discards all volatile state
+(caches, on-chip registers not modeled as NVM) and keeps this object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.config import BLOCK_SIZE
+from repro.errors import AlignmentError, LayoutError
+from repro.util.stats import StatGroup
+
+_ZERO_BLOCK = bytes(BLOCK_SIZE)
+
+
+class NvmDevice:
+    """Byte-addressable NVM storing 64B blocks plus sideband ECC.
+
+    Parameters
+    ----------
+    size:
+        Total device size in bytes (data + metadata + shadow regions).
+    stats:
+        Optional stat group; a private one is created if omitted.
+    """
+
+    def __init__(self, size: int, stats: Optional[StatGroup] = None) -> None:
+        if size <= 0 or size % BLOCK_SIZE:
+            raise LayoutError(f"NVM size must be a positive multiple of 64: {size}")
+        self.size = size
+        self.stats = stats if stats is not None else StatGroup("nvm")
+        self._blocks: Dict[int, bytes] = {}
+        #: Sideband ECC storage, one entry per data block that has one.
+        self._ecc: Dict[int, bytes] = {}
+        self._write_counts: Dict[int, int] = {}
+        self._reads = self.stats.counter("reads")
+        self._writes = self.stats.counter("writes")
+        #: Optional hook mapping an address to its *default* content for
+        #: never-written blocks.  The tree engines install this so an
+        #: untouched terabyte-scale integrity tree reads as consistent
+        #: default nodes without materializing them (lazy-zero memory).
+        self.default_provider = None
+
+    def _check(self, address: int) -> None:
+        if address % BLOCK_SIZE:
+            raise AlignmentError(f"NVM address {address:#x} not 64B-aligned")
+        if not 0 <= address < self.size:
+            raise LayoutError(
+                f"NVM address {address:#x} outside device of {self.size} bytes"
+            )
+
+    def _default(self, address: int) -> bytes:
+        if self.default_provider is not None:
+            return self.default_provider(address)
+        return _ZERO_BLOCK
+
+    def read(self, address: int) -> bytes:
+        """Read the 64B block at ``address``.
+
+        Never-written blocks return their default content: zeros, or the
+        installed provider's value for metadata regions.
+        """
+        self._check(address)
+        self._reads.add()
+        block = self._blocks.get(address)
+        return block if block is not None else self._default(address)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write a 64B block."""
+        self._check(address)
+        if len(data) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(data)}")
+        self._writes.add()
+        self._blocks[address] = bytes(data)
+        self._write_counts[address] = self._write_counts.get(address, 0) + 1
+
+    def read_ecc(self, address: int) -> bytes:
+        """Read a data block's sideband (zeros by default).
+
+        The sideband models the DIMM's ECC area, which — following
+        Synergy [20] — carries both the SECDED code and the data MAC;
+        controllers store a 16-byte ``ecc || mac`` blob here.
+        """
+        self._check(address)
+        return self._ecc.get(address, bytes(16))
+
+    def write_ecc(self, address: int, ecc: bytes) -> None:
+        """Write a data block's sideband ECC bits (no extra write cost:
+        ECC travels in the same burst as the data)."""
+        self._check(address)
+        self._ecc[address] = bytes(ecc)
+
+    # ------------------------------------------------------------------
+    # introspection used by recovery, tamper tests, and endurance stats
+    # ------------------------------------------------------------------
+
+    def peek(self, address: int) -> bytes:
+        """Read without counting a device access (debug/verification)."""
+        self._check(address)
+        block = self._blocks.get(address)
+        return block if block is not None else self._default(address)
+
+    def poke(self, address: int, data: bytes) -> None:
+        """Write without accounting — models an *attacker* or fault
+        mutating NVM contents out-of-band."""
+        self._check(address)
+        if len(data) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+        self._blocks[address] = bytes(data)
+
+    def inject_bit_flip(self, address: int, bit: int) -> None:
+        """Flip one stored bit — a radiation/wear soft error.
+
+        Unlike :meth:`poke` (an attacker writing chosen content), this
+        models the fault ECC exists for: reads of the block will see
+        one flipped ciphertext bit, which CTR decryption turns into one
+        flipped plaintext bit that the SECDED path repairs.
+        """
+        self._check(address)
+        if not 0 <= bit < BLOCK_SIZE * 8:
+            raise LayoutError(f"bit {bit} outside a {BLOCK_SIZE}B block")
+        block = bytearray(self._blocks.get(address, self._default(address)))
+        block[bit // 8] ^= 1 << (bit % 8)
+        self._blocks[address] = bytes(block)
+
+    def is_written(self, address: int) -> bool:
+        """True if the block has ever been written."""
+        self._check(address)
+        return address in self._blocks
+
+    def write_count(self, address: int) -> int:
+        """Lifetime write count of one block (endurance accounting)."""
+        self._check(address)
+        return self._write_counts.get(address, 0)
+
+    def touched_blocks(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate ``(address, data)`` over every written block."""
+        return iter(sorted(self._blocks.items()))
+
+    def region_write_totals(self, regions) -> Dict[str, int]:
+        """Aggregate write counts per named region.
+
+        ``regions`` is an iterable of :class:`~repro.mem.layout.Region`.
+        """
+        totals = {region.name: 0 for region in regions}
+        region_list = list(regions)
+        for address, count in self._write_counts.items():
+            for region in region_list:
+                if region.contains(address):
+                    totals[region.name] += count
+                    break
+        return totals
+
+    @property
+    def total_reads(self) -> int:
+        """Device-lifetime read count."""
+        return self._reads.value
+
+    @property
+    def total_writes(self) -> int:
+        """Device-lifetime write count."""
+        return self._writes.value
+
+    def snapshot(self) -> "NvmDevice":
+        """Deep copy of the device (used to fork pre/post-crash images)."""
+        clone = NvmDevice(self.size)
+        clone._blocks = dict(self._blocks)
+        clone._ecc = dict(self._ecc)
+        clone._write_counts = dict(self._write_counts)
+        clone.default_provider = self.default_provider
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"NvmDevice(size={self.size}, touched={len(self._blocks)}, "
+            f"reads={self.total_reads}, writes={self.total_writes})"
+        )

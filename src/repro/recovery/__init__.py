@@ -1,0 +1,11 @@
+"""Crash injection and whole-memory (Osiris-style) recovery."""
+
+from repro.recovery.crash import crash, reincarnate
+from repro.recovery.osiris_full import OsirisFullRecovery, OsirisRecoveryReport
+
+__all__ = [
+    "crash",
+    "reincarnate",
+    "OsirisFullRecovery",
+    "OsirisRecoveryReport",
+]

@@ -1,0 +1,82 @@
+"""Crash injection and controller reincarnation.
+
+A power failure, in this model, is:
+
+1. If the persistent registers hold a completed-but-uncopied atomic
+   group (DONE_BIT set), replay it into the WPQ (§2.7); an incomplete
+   group is discarded.
+2. ADR flushes the entire WPQ to the NVM device — the platform
+   guarantees energy for exactly this (§2.7).
+3. Every volatile structure vanishes: metadata caches, shadow-table
+   mirrors, the shadow-region tree's intermediate levels.
+
+What survives is the NVM device plus the on-chip *persistent registers*:
+the Merkle root node (Bonsai), the root nonce block (SGX), and
+SHADOW_TREE_ROOT (ASIT).  :func:`reincarnate` builds a fresh controller
+of the same configuration on the surviving state — the post-reboot
+memory controller whose first job is recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.controller.base import SecureMemoryController
+from repro.controller.bonsai import BonsaiController
+from repro.controller.factory import build_controller
+from repro.controller.sgx import SgxController
+from repro.errors import CrashError
+
+
+def crash(controller: SecureMemoryController) -> None:
+    """Inject a power failure into a running controller (in place)."""
+    controller.pregs.crash_replay()
+    controller.wpq.adr_flush()
+    controller.drop_volatile()
+
+
+def reincarnate(
+    controller: SecureMemoryController,
+    config: Optional[SystemConfig] = None,
+) -> SecureMemoryController:
+    """Build the post-reboot controller on the crashed system's NVM.
+
+    The new controller shares the NVM device and processor keys and
+    inherits the on-chip persistent registers (tree roots).  The caller
+    must run the appropriate recovery engine before issuing accesses —
+    reads of lines whose metadata was lost will fail integrity checks
+    otherwise (which tests exploit deliberately).
+    """
+    if config is None:
+        config = controller.config
+    reborn = build_controller(
+        config,
+        keys=controller.keys,
+        nvm=controller.nvm,
+        layout=controller.layout,
+    )
+    _transfer_roots(controller, reborn)
+    return reborn
+
+
+def _transfer_roots(
+    old: SecureMemoryController, new: SecureMemoryController
+) -> None:
+    """Copy the on-chip persistent registers across the reboot."""
+    if isinstance(old, BonsaiController) and isinstance(new, BonsaiController):
+        new.engine.root_node = old.engine.root_node.copy()
+        return
+    if isinstance(old, SgxController) and isinstance(new, SgxController):
+        new.engine.root_block = old.engine.root_block.copy()
+        shadow_root = getattr(old, "shadow_tree_root", None)
+        if shadow_root is not None:
+            # SHADOW_TREE_ROOT rides across the reboot in its register;
+            # the ASIT recovery engine clears this once the Shadow Table
+            # has been consumed and reset.
+            new._persistent_shadow_root = shadow_root
+        return
+    raise CrashError(
+        f"cannot transfer roots between {type(old).__name__} and "
+        f"{type(new).__name__} (tree kinds differ)"
+    )

@@ -1,0 +1,11 @@
+"""Simulation engine: build a system, replay a trace, collect results."""
+
+from repro.sim.engine import SimulationEngine, run_simulation
+from repro.sim.results import SchemeComparison, SimulationResult
+
+__all__ = [
+    "SimulationEngine",
+    "run_simulation",
+    "SimulationResult",
+    "SchemeComparison",
+]

@@ -1,0 +1,102 @@
+"""Simulation orchestration: one trace through one or many schemes.
+
+:class:`SimulationEngine` is the top-level convenience the experiments
+and examples use: give it a base configuration, ask it to run a trace
+under a scheme (or a list of schemes) and it builds the controller,
+replays the trace, finalizes timing, and packages a
+:class:`~repro.sim.results.SimulationResult` including cache metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import SchemeKind, SystemConfig
+from repro.controller.base import SecureMemoryController
+from repro.controller.bonsai import BonsaiController
+from repro.controller.factory import build_controller
+from repro.controller.sgx import SgxController
+from repro.crypto.keys import ProcessorKeys
+from repro.sim.results import SchemeComparison, SimulationResult
+from repro.traces.replay import replay
+from repro.traces.trace import Trace
+
+
+def _cache_stats(controller: SecureMemoryController) -> Dict[str, float]:
+    """Flatten the controller's metadata-cache statistics."""
+    flat: Dict[str, float] = {}
+    if isinstance(controller, BonsaiController):
+        for cache in (controller.counter_cache, controller.merkle_cache):
+            cache.stats.merge_into(flat)
+            flat[f"{cache.name}.hit_rate"] = cache.hit_rate
+            flat[f"{cache.name}.clean_eviction_fraction"] = (
+                cache.clean_eviction_fraction
+            )
+    elif isinstance(controller, SgxController):
+        cache = controller.metadata_cache
+        cache.stats.merge_into(flat)
+        flat[f"{cache.name}.hit_rate"] = cache.hit_rate
+        flat[f"{cache.name}.clean_eviction_fraction"] = (
+            cache.clean_eviction_fraction
+        )
+    return flat
+
+
+def run_simulation(
+    config: SystemConfig,
+    trace: Trace,
+    keys: Optional[ProcessorKeys] = None,
+) -> SimulationResult:
+    """Replay one trace on a freshly built system; return its result."""
+    controller = build_controller(config, keys=keys)
+    replay(controller, trace)
+    elapsed = controller.finalize()
+    stats = controller.collect_stats()
+    stats.update(_cache_stats(controller))
+    return SimulationResult(
+        benchmark=trace.name,
+        scheme=config.scheme,
+        elapsed_ns=elapsed,
+        requests=len(trace),
+        stats=stats,
+    )
+
+
+class SimulationEngine:
+    """Runs scheme sweeps over traces with a shared base configuration."""
+
+    def __init__(
+        self,
+        base_config: SystemConfig,
+        keys: Optional[ProcessorKeys] = None,
+    ) -> None:
+        self.base_config = base_config
+        self.keys = keys if keys is not None else ProcessorKeys()
+
+    def run(self, trace: Trace, scheme: SchemeKind) -> SimulationResult:
+        """Run one trace under one scheme."""
+        config = self.base_config.with_scheme(scheme)
+        return run_simulation(config, trace, self.keys)
+
+    def compare(
+        self,
+        trace: Trace,
+        schemes: Iterable[SchemeKind],
+        baseline: SchemeKind = SchemeKind.WRITE_BACK,
+    ) -> SchemeComparison:
+        """Run one trace under several schemes; baseline-normalized."""
+        comparison = SchemeComparison(benchmark=trace.name, baseline=baseline)
+        for scheme in schemes:
+            comparison.add(self.run(trace, scheme))
+        return comparison
+
+    def sweep(
+        self,
+        traces: Iterable[Trace],
+        schemes: List[SchemeKind],
+        baseline: SchemeKind = SchemeKind.WRITE_BACK,
+    ) -> List[SchemeComparison]:
+        """The full figure-style grid: every trace under every scheme."""
+        return [
+            self.compare(trace, schemes, baseline) for trace in traces
+        ]

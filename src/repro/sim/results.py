@@ -1,0 +1,110 @@
+"""Result records and cross-scheme comparison helpers.
+
+The paper's performance figures plot, per benchmark, each scheme's
+execution time normalized to the write-back baseline.
+:class:`SchemeComparison` holds one benchmark's results across schemes
+and computes exactly that, plus the overhead percentages quoted in the
+text (e.g. "AGIT Plus only adds 3.4% extra overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import SchemeKind
+from repro.util.stats import geometric_mean
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying one trace on one scheme."""
+
+    benchmark: str
+    scheme: SchemeKind
+    elapsed_ns: float
+    requests: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ns_per_access(self) -> float:
+        """Average nanoseconds per request."""
+        return self.elapsed_ns / self.requests if self.requests else 0.0
+
+    def stat(self, name: str, default: float = 0.0) -> float:
+        """Read one flattened statistic."""
+        return self.stats.get(name, default)
+
+    @property
+    def nvm_writes(self) -> int:
+        """Total device writes — the endurance currency."""
+        return int(self.stat("nvm.writes"))
+
+    @property
+    def extra_writes_per_data_write(self) -> float:
+        """Device writes beyond one per data write (endurance overhead)."""
+        data_writes = self.stat("ctrl.data_writes")
+        if not data_writes:
+            return 0.0
+        return max(self.nvm_writes / data_writes - 1.0, 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.benchmark}/{self.scheme.value}: "
+            f"{self.ns_per_access:.1f} ns/access)"
+        )
+
+
+@dataclass
+class SchemeComparison:
+    """One benchmark's results across schemes, baseline-normalized."""
+
+    benchmark: str
+    baseline: SchemeKind = SchemeKind.WRITE_BACK
+    results: Dict[SchemeKind, SimulationResult] = field(default_factory=dict)
+
+    def add(self, result: SimulationResult) -> None:
+        """Register one scheme's result."""
+        self.results[result.scheme] = result
+
+    def normalized_time(self, scheme: SchemeKind) -> float:
+        """Execution time relative to the baseline (1.0 = baseline)."""
+        base = self.results[self.baseline].elapsed_ns
+        return self.results[scheme].elapsed_ns / base if base else 0.0
+
+    def overhead_percent(self, scheme: SchemeKind) -> float:
+        """Run-time overhead over the baseline, in percent."""
+        return (self.normalized_time(scheme) - 1.0) * 100.0
+
+    def schemes(self) -> List[SchemeKind]:
+        """Schemes present, baseline first."""
+        ordered = [self.baseline]
+        ordered.extend(
+            scheme for scheme in self.results if scheme != self.baseline
+        )
+        return ordered
+
+
+def average_overheads(
+    comparisons: List[SchemeComparison],
+    schemes: Optional[List[SchemeKind]] = None,
+) -> Dict[SchemeKind, float]:
+    """Geometric-mean overhead percent per scheme across benchmarks.
+
+    Matches the figures' rightmost "average" bars: the gmean of
+    normalized execution times, reported as an overhead percentage.
+    """
+    if not comparisons:
+        return {}
+    if schemes is None:
+        schemes = comparisons[0].schemes()
+    averages: Dict[SchemeKind, float] = {}
+    for scheme in schemes:
+        values = [
+            comparison.normalized_time(scheme)
+            for comparison in comparisons
+            if scheme in comparison.results
+        ]
+        if values:
+            averages[scheme] = (geometric_mean(values) - 1.0) * 100.0
+    return averages

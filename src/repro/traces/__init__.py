@@ -1,0 +1,15 @@
+"""Workload traces: SPEC-like synthetic generators and replay helpers."""
+
+from repro.traces.trace import Trace
+from repro.traces.profiles import SPEC_PROFILES, SyntheticProfile, profile
+from repro.traces.synthetic import generate_trace
+from repro.traces.replay import replay
+
+__all__ = [
+    "Trace",
+    "SPEC_PROFILES",
+    "SyntheticProfile",
+    "profile",
+    "generate_trace",
+    "replay",
+]

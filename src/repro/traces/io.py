@@ -1,0 +1,117 @@
+"""Trace file I/O: a compact binary format for capture and replay.
+
+Format (little-endian):
+
+* header: magic ``b"RPTR"``, version u16, name length u16, name bytes,
+  record count u64;
+* per record: op u8 (0 = read, 1 = write), address u64, gap f64, and —
+  for writes only — the 64B payload.
+
+The format exists so a workload generated once (or converted from a
+real memory trace) can be replayed bit-identically across machines and
+sessions; `generate_trace` stays the primary source.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.config import BLOCK_SIZE
+from repro.controller.access import MemoryRequest, Op
+from repro.errors import TraceError
+from repro.traces.trace import Trace
+
+_MAGIC = b"RPTR"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHH")
+_COUNT = struct.Struct("<Q")
+_RECORD = struct.Struct("<BQd")
+
+PathLike = Union[str, Path]
+
+
+def write_trace(trace: Trace, destination: Union[PathLike, BinaryIO]) -> int:
+    """Serialize a trace; returns the byte count written."""
+    if hasattr(destination, "write"):
+        return _write_stream(trace, destination)
+    with open(destination, "wb") as stream:
+        return _write_stream(trace, stream)
+
+
+def _write_stream(trace: Trace, stream: BinaryIO) -> int:
+    name = trace.name.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise TraceError("trace name too long to serialize")
+    written = stream.write(_HEADER.pack(_MAGIC, _VERSION, len(name)))
+    written += stream.write(name)
+    written += stream.write(_COUNT.pack(len(trace)))
+    for request in trace:
+        op_code = 1 if request.op == Op.WRITE else 0
+        written += stream.write(
+            _RECORD.pack(op_code, request.address, request.gap_ns)
+        )
+        if request.op == Op.WRITE:
+            if len(request.data) != BLOCK_SIZE:
+                raise TraceError(
+                    f"write payload must be {BLOCK_SIZE} bytes"
+                )
+            written += stream.write(request.data)
+    return written
+
+
+def read_trace(source: Union[PathLike, BinaryIO]) -> Trace:
+    """Deserialize a trace written by :func:`write_trace`."""
+    if hasattr(source, "read"):
+        return _read_stream(source)
+    with open(source, "rb") as stream:
+        return _read_stream(stream)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise TraceError(
+            f"truncated trace file: wanted {count} bytes, got {len(data)}"
+        )
+    return data
+
+
+def _read_stream(stream: BinaryIO) -> Trace:
+    magic, version, name_length = _HEADER.unpack(
+        _read_exact(stream, _HEADER.size)
+    )
+    if magic != _MAGIC:
+        raise TraceError("not a repro trace file (bad magic)")
+    if version != _VERSION:
+        raise TraceError(f"unsupported trace version {version}")
+    name = _read_exact(stream, name_length).decode("utf-8")
+    (count,) = _COUNT.unpack(_read_exact(stream, _COUNT.size))
+    trace = Trace(name=name)
+    for _ in range(count):
+        op_code, address, gap = _RECORD.unpack(
+            _read_exact(stream, _RECORD.size)
+        )
+        if op_code == 1:
+            data = _read_exact(stream, BLOCK_SIZE)
+            trace.append(
+                MemoryRequest(
+                    op=Op.WRITE, address=address, data=data, gap_ns=gap
+                )
+            )
+        elif op_code == 0:
+            trace.append(
+                MemoryRequest(op=Op.READ, address=address, gap_ns=gap)
+            )
+        else:
+            raise TraceError(f"unknown op code {op_code} in trace file")
+    return trace
+
+
+def roundtrip_bytes(trace: Trace) -> bytes:
+    """Serialize to bytes (convenience for tests and caching)."""
+    buffer = io.BytesIO()
+    write_trace(trace, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,52 @@
+"""Trace replay through a controller, with a functional shadow model.
+
+:func:`replay` drives every request through the controller and, when
+asked, keeps a plain dict of the latest plaintext per address — the
+oracle the crash/recovery tests compare post-recovery reads against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.controller.access import Op
+from repro.controller.base import SecureMemoryController
+from repro.errors import IntegrityError
+from repro.traces.trace import Trace
+
+
+def replay(
+    controller: SecureMemoryController,
+    trace: Trace,
+    oracle: Optional[Dict[int, bytes]] = None,
+    check_reads: bool = False,
+) -> Dict[int, bytes]:
+    """Run every request of ``trace`` through ``controller``.
+
+    Parameters
+    ----------
+    oracle:
+        Optional pre-existing plaintext oracle to extend (for replays
+        that continue an earlier stream, e.g. after recovery).
+    check_reads:
+        When True, every read's result is compared against the oracle —
+        a full functional check, slower but used widely in tests.
+
+    Returns the (possibly updated) oracle mapping address -> plaintext.
+    """
+    shadow: Dict[int, bytes] = oracle if oracle is not None else {}
+    for request in trace:
+        if request.op == Op.WRITE:
+            controller.access(request)
+            shadow[request.address] = request.data
+        else:
+            data = controller.access(request)
+            if check_reads:
+                expected = shadow.get(request.address, bytes(64))
+                if data != expected:
+                    raise IntegrityError(
+                        f"replay mismatch at {request.address:#x}: "
+                        f"controller returned different plaintext than "
+                        f"the oracle"
+                    )
+    return shadow

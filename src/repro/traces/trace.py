@@ -1,0 +1,88 @@
+"""Trace container and summary statistics.
+
+A trace is an ordered list of post-LLC :class:`MemoryRequest` records
+plus the name of the workload that produced it.  Traces are value
+objects: generators build them, the engine replays them, experiments
+reuse one trace across every scheme so comparisons see identical access
+streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from repro.controller.access import MemoryRequest, Op
+from repro.errors import TraceError
+
+
+@dataclass
+class Trace:
+    """An ordered memory-access stream."""
+
+    name: str
+    requests: List[MemoryRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        return iter(self.requests)
+
+    def append(self, request: MemoryRequest) -> None:
+        """Add one request to the end of the trace."""
+        self.requests.append(request)
+
+    def extend(self, requests: Sequence[MemoryRequest]) -> None:
+        """Add many requests to the end of the trace."""
+        self.requests.extend(requests)
+
+    # ------------------------------------------------------------------
+    # summary metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def num_reads(self) -> int:
+        """Count of read requests."""
+        return sum(1 for request in self.requests if request.op == Op.READ)
+
+    @property
+    def num_writes(self) -> int:
+        """Count of write requests."""
+        return len(self.requests) - self.num_reads
+
+    @property
+    def write_fraction(self) -> float:
+        """Writes / total (0.0 for an empty trace)."""
+        return self.num_writes / len(self.requests) if self.requests else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of distinct 64B lines touched."""
+        return 64 * len({request.address for request in self.requests})
+
+    def validate(self, capacity_bytes: int, block_size: int = 64) -> None:
+        """Check every request against a memory geometry."""
+        for position, request in enumerate(self.requests):
+            if request.address % block_size:
+                raise TraceError(
+                    f"request {position}: address {request.address:#x} "
+                    f"not {block_size}B-aligned"
+                )
+            if not 0 <= request.address < capacity_bytes:
+                raise TraceError(
+                    f"request {position}: address {request.address:#x} "
+                    f"outside {capacity_bytes}-byte memory"
+                )
+            if request.is_write and len(request.data) != block_size:
+                raise TraceError(
+                    f"request {position}: write data is "
+                    f"{len(request.data)} bytes, expected {block_size}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name}: {len(self)} requests, "
+            f"{self.write_fraction:.0%} writes, "
+            f"{self.footprint_bytes // 1024}KiB footprint)"
+        )

@@ -1,0 +1,175 @@
+"""Lightweight statistics accumulation for the simulator.
+
+Every component of the simulated system (caches, the NVM device, the WPQ,
+each controller) owns a :class:`StatGroup` and registers named counters or
+histograms on it.  The simulation engine merges these groups into one
+result record per run.  Keeping stats in a uniform container means new
+experiments never have to modify the components they measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically accumulating integer statistic."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        """Increment the counter by ``amount`` (default 1)."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A streaming histogram tracking count / sum / min / max / mean."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "sum_sq")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        self.sum_sq += value * value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the samples (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        variance = self.sum_sq / self.count - self.mean ** 2
+        return math.sqrt(max(variance, 0.0))
+
+    def reset(self) -> None:
+        """Clear all samples."""
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean:.3g})"
+        )
+
+
+class StatGroup:
+    """A named collection of counters and histograms.
+
+    Components create their statistics through :meth:`counter` and
+    :meth:`histogram`; repeated requests for the same name return the same
+    object, so wiring code can pre-declare stats without the component
+    caring.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return (creating if needed) the histogram called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Read a counter's value without creating it."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        """Iterate ``(name, value)`` over all counters, sorted by name."""
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def histograms(self) -> Iterator[Histogram]:
+        """Iterate all histograms, sorted by name."""
+        for name in sorted(self._histograms):
+            yield self._histograms[name]
+
+    def reset(self) -> None:
+        """Reset every statistic in the group."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the group to ``{qualified_name: value}``.
+
+        Counters map directly; histograms expand to ``.count`` and
+        ``.mean`` entries.
+        """
+        flat: Dict[str, float] = {}
+        for name, value in self.counters():
+            flat[f"{self.name}.{name}"] = value
+        for histogram in self.histograms():
+            flat[f"{self.name}.{histogram.name}.count"] = histogram.count
+            flat[f"{self.name}.{histogram.name}.mean"] = histogram.mean
+        return flat
+
+    def merge_into(self, target: Dict[str, float]) -> None:
+        """Add this group's flattened stats into ``target`` (in place)."""
+        target.update(self.as_dict())
+
+    def __repr__(self) -> str:
+        return (
+            f"StatGroup({self.name}: {len(self._counters)} counters, "
+            f"{len(self._histograms)} histograms)"
+        )
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty list.
+
+    Used to aggregate per-benchmark normalized slowdowns the same way the
+    paper's figures do.
+    """
+    if not values:
+        return 0.0
+    log_sum = 0.0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError(
+                f"geometric mean requires positive values, got {value}"
+            )
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))

@@ -1,0 +1,11 @@
+"""Pytest fixtures (re-exported from tests.helpers)."""
+
+from tests.helpers import (  # noqa: F401
+    bonsai_config,
+    bonsai_controller,
+    bonsai_layout,
+    keys,
+    sgx_config,
+    sgx_controller,
+    sgx_layout,
+)

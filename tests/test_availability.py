@@ -1,0 +1,103 @@
+"""Tests for the availability calculator (§1's five-nines argument)."""
+
+import pytest
+
+from repro.analysis.availability import (
+    NINES_BUDGET_S,
+    SchemeAvailability,
+    achieved_nines,
+    availability_report,
+    format_report,
+    max_crashes_within_budget,
+)
+from repro.config import KIB, TIB
+from repro.errors import ConfigError
+
+
+class TestAchievedNines:
+    def test_budget_points_round_trip(self):
+        # Each class's budget must map back to (about) its nines count.
+        for nines, budget in NINES_BUDGET_S.items():
+            assert achieved_nines(budget) == pytest.approx(nines, abs=0.01)
+
+    def test_zero_downtime_is_infinite(self):
+        assert achieved_nines(0.0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            achieved_nines(-1.0)
+
+    def test_monotone(self):
+        assert achieved_nines(10.0) > achieved_nines(1000.0)
+
+
+class TestSchemeAvailability:
+    def test_downtime_accumulates(self):
+        entry = SchemeAvailability("x", recovery_s_per_crash=10.0,
+                                   crashes_per_year=5.0)
+        assert entry.downtime_s_per_year == pytest.approx(50.0)
+
+    def test_meets_budget(self):
+        fast = SchemeAvailability("fast", 0.03, 100.0)  # 3 s/yr
+        slow = SchemeAvailability("slow", 28000.0, 1.0)
+        assert fast.meets(5)
+        assert not slow.meets(5)
+
+    def test_unknown_nines_rejected(self):
+        with pytest.raises(ConfigError):
+            SchemeAvailability("x", 1.0, 1.0).meets(7)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return availability_report(
+            capacity_bytes=8 * TIB,
+            counter_cache_bytes=256 * KIB,
+            crashes_per_year=4.0,
+        )
+
+    def test_paper_argument_at_8tb(self, report):
+        """§1: one Osiris recovery dwarfs the five-nines budget; Anubis
+        recoveries are negligible."""
+        assert not report["osiris"].meets(5)
+        assert report["agit"].meets(5)
+        assert report["asit"].meets(5)
+        assert report["strict_persistence"].meets(5)
+
+    def test_osiris_downtime_is_hours_per_crash(self, report):
+        assert report["osiris"].recovery_s_per_crash > 6 * 3600
+
+    def test_anubis_subsecond_per_crash(self, report):
+        assert report["agit"].recovery_s_per_crash < 0.1
+        assert report["asit"].recovery_s_per_crash < 0.1
+
+    def test_negative_crash_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            availability_report(1 * TIB, 256 * KIB, crashes_per_year=-1)
+
+    def test_format_report_lines(self, report):
+        lines = format_report(report)
+        assert len(lines) == 4
+        assert any("BLOWS" in line for line in lines)
+        assert any("meets" in line for line in lines)
+        # sorted by recovery cost: strict first, osiris last
+        assert "strict" in lines[0]
+        assert "osiris" in lines[-1]
+
+
+class TestCrashBudgetInversion:
+    def test_osiris_affords_almost_no_crashes(self):
+        from repro.core.recovery_time import osiris_recovery_time_s
+
+        per_crash = osiris_recovery_time_s(8 * TIB)
+        assert max_crashes_within_budget(per_crash, 5) < 0.05
+
+    def test_anubis_affords_thousands(self):
+        from repro.core.recovery_time import agit_recovery_time_s
+
+        per_crash = agit_recovery_time_s(256 * KIB, 256 * KIB)
+        assert max_crashes_within_budget(per_crash, 5) > 1_000
+
+    def test_zero_cost_is_infinite(self):
+        assert max_crashes_within_budget(0.0) == float("inf")

@@ -1,0 +1,111 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_describe_defaults(self):
+        args = build_parser().parse_args(["describe"])
+        assert args.scheme == "write_back"
+        assert args.capacity_gib == 16
+
+    def test_simulate_workload_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "bogus"])
+
+
+class TestDescribe:
+    def test_prints_layout(self, capsys):
+        assert main(["describe", "--scheme", "agit_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "agit_plus" in out
+        assert "address map" in out
+        assert "tree_l0" in out
+
+    def test_asit_infers_sgx_tree(self, capsys):
+        assert main(["describe", "--scheme", "asit"]) == 0
+        assert "sgx" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scheme",
+                "osiris",
+                "--workload",
+                "gcc",
+                "--length",
+                "800",
+                "--capacity-gib",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ns/access" in out
+        assert "hit rate" in out
+
+
+class TestCrashDemo:
+    def test_agit_demo_recovers(self, capsys):
+        code = main(
+            [
+                "crash-demo",
+                "--scheme",
+                "agit_plus",
+                "--workload",
+                "gcc",
+                "--length",
+                "800",
+                "--capacity-gib",
+                "1",
+                "--verify",
+                "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AGIT recovery" in out
+        assert "100/100 lines intact" in out
+
+    def test_unrecoverable_scheme_refused(self, capsys):
+        code = main(
+            ["crash-demo", "--scheme", "write_back", "--length", "100"]
+        )
+        assert code == 1
+        assert "not recoverable" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_writes_trace_file(self, tmp_path, capsys):
+        output = tmp_path / "gcc.rptr"
+        code = main(
+            [
+                "trace",
+                "--workload",
+                "gcc",
+                "--length",
+                "300",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        from repro.traces.io import read_trace
+
+        assert len(read_trace(output)) == 300
+
+
+class TestExperimentsPassthrough:
+    def test_forwards_to_runner(self, capsys):
+        assert main(["experiments", "fig05"]) == 0
+        assert "Figure 5" in capsys.readouterr().out

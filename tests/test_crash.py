@@ -1,0 +1,129 @@
+"""Tests for crash injection and controller reincarnation."""
+
+import pytest
+
+from repro.config import SchemeKind, TreeKind
+from repro.errors import CrashError, IntegrityError
+from repro.recovery.crash import crash, reincarnate
+
+from tests.helpers import line, make_controller, payload
+
+
+class TestCrashSemantics:
+    def test_caches_emptied(self):
+        controller = make_controller()
+        controller.write(line(0), payload(1))
+        crash(controller)
+        assert controller.counter_cache.occupancy == 0
+        assert controller.merkle_cache.occupancy == 0
+
+    def test_wpq_flushed_to_nvm(self):
+        controller = make_controller()
+        controller.write(line(0), payload(1))
+        assert len(controller.wpq) > 0
+        crash(controller)
+        assert len(controller.wpq) == 0
+        assert controller.nvm.is_written(0)
+
+    def test_data_survives_crash(self):
+        controller = make_controller()
+        controller.write(line(0), payload(1))
+        cipher_before = None
+        crash(controller)
+        assert controller.nvm.peek(0) != bytes(64)
+
+    def test_sgx_cache_emptied(self):
+        controller = make_controller(tree=TreeKind.SGX)
+        controller.write(line(0), payload(1))
+        crash(controller)
+        assert controller.metadata_cache.occupancy == 0
+
+    def test_staged_but_uncommitted_group_lost(self):
+        controller = make_controller()
+        controller.pregs.begin()
+        controller.pregs.stage(0, payload(1))
+        crash(controller)
+        assert not controller.nvm.is_written(0)
+
+
+class TestReincarnate:
+    def test_shares_nvm_and_keys(self):
+        controller = make_controller()
+        controller.write(line(0), payload(1))
+        crash(controller)
+        reborn = reincarnate(controller)
+        assert reborn.nvm is controller.nvm
+        assert reborn.keys is controller.keys
+
+    def test_bonsai_root_transferred(self):
+        controller = make_controller()
+        controller.write(line(0), payload(1))
+        crash(controller)
+        reborn = reincarnate(controller)
+        assert reborn.engine.root_node == controller.engine.root_node
+
+    def test_sgx_root_block_transferred(self):
+        controller = make_controller(
+            SchemeKind.STRICT_PERSISTENCE, TreeKind.SGX
+        )
+        controller.write(line(0), payload(1))
+        crash(controller)
+        reborn = reincarnate(controller)
+        assert reborn.engine.root_block == controller.engine.root_block
+
+    def test_asit_shadow_root_transferred(self):
+        controller = make_controller(SchemeKind.ASIT, TreeKind.SGX)
+        controller.write(line(0), payload(1))
+        live_root = controller.shadow_tree.root
+        crash(controller)
+        reborn = reincarnate(controller)
+        assert reborn.shadow_tree_root == live_root
+
+    def test_cross_tree_transfer_rejected(self):
+        bonsai = make_controller()
+        sgx = make_controller(tree=TreeKind.SGX)
+        from repro.recovery.crash import _transfer_roots
+
+        with pytest.raises(CrashError):
+            _transfer_roots(bonsai, sgx)
+
+
+class TestUnrecoverableBaseline:
+    def test_write_back_bonsai_fails_reads_after_crash(self):
+        controller = make_controller(SchemeKind.WRITE_BACK)
+        controller.write(line(0), payload(1))
+        controller.write(line(0), payload(2))  # counter now ahead of NVM
+        crash(controller)
+        reborn = reincarnate(controller)
+        with pytest.raises(IntegrityError):
+            reborn.read(line(0))
+
+    def test_write_back_sgx_fails_reads_after_crash(self):
+        controller = make_controller(SchemeKind.WRITE_BACK, TreeKind.SGX)
+        controller.write(line(0), payload(1))
+        controller.write(line(0), payload(2))
+        crash(controller)
+        reborn = reincarnate(controller)
+        with pytest.raises(IntegrityError):
+            reborn.read(line(0))
+
+    def test_strict_persistence_survives_without_recovery(self):
+        # The (expensive) scheme that needs no recovery at all.
+        controller = make_controller(SchemeKind.STRICT_PERSISTENCE)
+        for index in range(20):
+            controller.write(line(index), payload(index))
+        crash(controller)
+        reborn = reincarnate(controller)
+        for index in range(20):
+            assert reborn.read(line(index)) == payload(index)
+
+    def test_strict_sgx_survives_without_recovery(self):
+        controller = make_controller(
+            SchemeKind.STRICT_PERSISTENCE, TreeKind.SGX
+        )
+        for index in range(20):
+            controller.write(line(index), payload(index))
+        crash(controller)
+        reborn = reincarnate(controller)
+        for index in range(20):
+            assert reborn.read(line(index)) == payload(index)

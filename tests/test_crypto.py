@@ -1,0 +1,162 @@
+"""Unit and property tests for the crypto substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.ctr import CounterModeEngine, make_iv
+from repro.crypto.hashes import (
+    data_mac,
+    hash64,
+    mac56,
+    node_hash,
+    sgx_node_mac,
+)
+from repro.crypto.keys import ProcessorKeys
+
+LINE = bytes(range(64))
+
+
+class TestProcessorKeys:
+    def test_deterministic(self):
+        assert ProcessorKeys(5) == ProcessorKeys(5)
+        assert ProcessorKeys(5).encryption_key == ProcessorKeys(5).encryption_key
+
+    def test_different_seeds_differ(self):
+        assert ProcessorKeys(1).encryption_key != ProcessorKeys(2).encryption_key
+
+    def test_domain_separation(self):
+        keys = ProcessorKeys(0)
+        derived = {
+            keys.encryption_key,
+            keys.tree_key,
+            keys.mac_key,
+            keys.shadow_key,
+        }
+        assert len(derived) == 4
+
+    def test_hashable(self):
+        assert hash(ProcessorKeys(3)) == hash(ProcessorKeys(3))
+
+
+class TestHashes:
+    def test_hash64_fits_64_bits(self):
+        keys = ProcessorKeys(0)
+        value = hash64(keys.tree_key, LINE)
+        assert 0 <= value < (1 << 64)
+
+    def test_hash64_deterministic(self):
+        keys = ProcessorKeys(0)
+        assert hash64(keys.tree_key, LINE) == hash64(keys.tree_key, LINE)
+
+    def test_hash64_keyed(self):
+        assert hash64(ProcessorKeys(0).tree_key, LINE) != hash64(
+            ProcessorKeys(9).tree_key, LINE
+        )
+
+    def test_mac56_fits_56_bits(self):
+        value = mac56(ProcessorKeys(0).mac_key, LINE)
+        assert 0 <= value < (1 << 56)
+
+    def test_node_hash_binds_address(self):
+        key = ProcessorKeys(0).tree_key
+        assert node_hash(key, LINE, 0x1000) != node_hash(key, LINE, 0x2000)
+
+    def test_sgx_node_mac_binds_parent_nonce(self):
+        key = ProcessorKeys(0).tree_key
+        counters = list(range(8))
+        assert sgx_node_mac(key, 0, counters, 1) != sgx_node_mac(
+            key, 0, counters, 2
+        )
+
+    def test_sgx_node_mac_binds_counters(self):
+        key = ProcessorKeys(0).tree_key
+        assert sgx_node_mac(key, 0, [0] * 8, 0) != sgx_node_mac(
+            key, 0, [1] + [0] * 7, 0
+        )
+
+    def test_data_mac_binds_counter(self):
+        key = ProcessorKeys(0).mac_key
+        assert data_mac(key, 0, b"\x01", LINE) != data_mac(key, 0, b"\x02", LINE)
+
+
+class TestCounterMode:
+    @pytest.fixture
+    def engine(self):
+        return CounterModeEngine(ProcessorKeys(0))
+
+    def test_roundtrip(self, engine):
+        cipher = engine.encrypt(LINE, 0x40, 3, 7)
+        assert engine.decrypt(cipher, 0x40, 3, 7) == LINE
+
+    def test_ciphertext_differs_from_plaintext(self, engine):
+        assert engine.encrypt(LINE, 0x40, 3, 7) != LINE
+
+    def test_wrong_minor_garbles(self, engine):
+        cipher = engine.encrypt(LINE, 0x40, 3, 7)
+        assert engine.decrypt(cipher, 0x40, 3, 8) != LINE
+
+    def test_wrong_major_garbles(self, engine):
+        cipher = engine.encrypt(LINE, 0x40, 3, 7)
+        assert engine.decrypt(cipher, 0x40, 4, 7) != LINE
+
+    def test_wrong_address_garbles(self, engine):
+        cipher = engine.encrypt(LINE, 0x40, 3, 7)
+        assert engine.decrypt(cipher, 0x80, 3, 7) != LINE
+
+    def test_spatial_uniqueness(self, engine):
+        # Same data + counter at two addresses: different ciphertext.
+        assert engine.encrypt(LINE, 0x40, 0, 0) != engine.encrypt(
+            LINE, 0x80, 0, 0
+        )
+
+    def test_temporal_uniqueness(self, engine):
+        assert engine.encrypt(LINE, 0x40, 0, 0) != engine.encrypt(
+            LINE, 0x40, 0, 1
+        )
+
+    def test_pad_reuse_is_xor_leak(self, engine):
+        # The classic CTR property the whole counter-integrity story
+        # protects against: same IV twice leaks plaintext XOR.
+        other = bytes(64)
+        cipher_a = engine.encrypt(LINE, 0x40, 0, 0)
+        cipher_b = engine.encrypt(other, 0x40, 0, 0)
+        xored = bytes(a ^ b for a, b in zip(cipher_a, cipher_b))
+        assert xored == bytes(a ^ b for a, b in zip(LINE, other))
+
+    def test_rejects_wrong_length(self, engine):
+        with pytest.raises(ValueError):
+            engine.encrypt(b"short", 0, 0, 0)
+
+    def test_ecc_rides_same_iv(self, engine):
+        cipher, ecc_cipher = engine.encrypt_with_ecc(LINE, b"\xaa" * 16, 0, 1, 2)
+        plain, ecc = engine.decrypt_with_ecc(cipher, ecc_cipher, 0, 1, 2)
+        assert plain == LINE
+        assert ecc == b"\xaa" * 16
+
+    def test_ecc_garbled_by_wrong_counter(self, engine):
+        _cipher, ecc_cipher = engine.encrypt_with_ecc(LINE, b"\xaa" * 16, 0, 1, 2)
+        _plain, ecc = engine.decrypt_with_ecc(LINE, ecc_cipher, 0, 1, 3)
+        assert ecc != b"\xaa" * 16
+
+    @given(
+        st.binary(min_size=64, max_size=64),
+        st.integers(min_value=0, max_value=(1 << 40)),
+        st.integers(min_value=0, max_value=(1 << 56) - 1),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_roundtrip_property(self, data, address, major, minor):
+        engine = CounterModeEngine(ProcessorKeys(0))
+        address &= ~63
+        cipher = engine.encrypt(data, address, major, minor)
+        assert engine.decrypt(cipher, address, major, minor) == data
+
+
+class TestIv:
+    def test_iv_layout(self):
+        iv = make_iv(0x40, 1, 2)
+        assert len(iv) == 24
+        assert iv[:8] == (0x40).to_bytes(8, "little")
+
+    def test_iv_uniqueness(self):
+        assert make_iv(0, 0, 1) != make_iv(0, 1, 0)

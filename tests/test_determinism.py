@@ -1,0 +1,90 @@
+"""Determinism and reproducibility guarantees.
+
+The README promises "same seed, same trace, same ciphertext, same
+recovery transcript" — these tests hold the whole stack to it, because
+every number in EXPERIMENTS.md depends on it.
+"""
+
+from repro.config import SchemeKind, TreeKind
+from repro.core.recovery_agit import AgitRecovery
+from repro.recovery.crash import crash, reincarnate
+from repro.sim.engine import run_simulation
+from repro.crypto.keys import ProcessorKeys
+from repro.traces.profiles import profile
+from repro.traces.synthetic import generate_trace
+
+from tests.helpers import line, make_controller, payload, small_config
+
+
+class TestSimulationDeterminism:
+    def test_identical_runs_identical_results(self):
+        trace = generate_trace(profile("gcc"), 1500, seed=5)
+        results = [
+            run_simulation(
+                small_config(SchemeKind.AGIT_PLUS, memory_bytes=64 * 1024 * 1024),
+                trace,
+                ProcessorKeys(9),
+            )
+            for _ in range(2)
+        ]
+        assert results[0].elapsed_ns == results[1].elapsed_ns
+        assert results[0].stats == results[1].stats
+
+    def test_identical_ciphertext_across_builds(self):
+        images = []
+        for _ in range(2):
+            controller = make_controller(SchemeKind.OSIRIS, seed=4)
+            for index in range(30):
+                controller.write(line(index * 8), payload(index))
+            controller.wpq.drain_all()
+            images.append(dict(controller.nvm.touched_blocks()))
+        assert images[0] == images[1]
+
+    def test_different_keys_different_ciphertext(self):
+        images = []
+        for seed in (1, 2):
+            controller = make_controller(seed=seed)
+            controller.write(line(0), payload(1))
+            controller.wpq.drain_all()
+            images.append(controller.nvm.peek(0))
+        assert images[0] != images[1]
+
+    def test_recovery_transcript_deterministic(self):
+        reports = []
+        for _ in range(2):
+            controller = make_controller(SchemeKind.AGIT_PLUS, seed=3)
+            for index in range(40):
+                controller.write(line(index * 16), payload(index % 250))
+            crash(controller)
+            reborn = reincarnate(controller)
+            reports.append(
+                AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+            )
+        first, second = reports
+        assert first.tracked_counter_blocks == second.tracked_counter_blocks
+        assert first.osiris_trials == second.osiris_trials
+        assert first.memory_reads == second.memory_reads
+        assert first.estimated_ns() == second.estimated_ns()
+
+
+class TestSharedMemoryWorkloads:
+    def test_disjoint_regions_coexist(self):
+        """Two workloads at different region bases on one controller."""
+        controller = make_controller(
+            SchemeKind.AGIT_PLUS, memory_bytes=128 * 1024 * 1024
+        )
+        region_a = generate_trace(
+            profile("gcc"), 400, seed=1, region_base=0
+        )
+        region_b = generate_trace(
+            profile("gcc"), 400, seed=1, region_base=64 * 1024 * 1024
+        )
+        from repro.traces.replay import replay
+
+        oracle = replay(controller, region_a)
+        oracle = replay(controller, region_b, oracle=oracle)
+        crash(controller)
+        reborn = reincarnate(controller)
+        AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        for address, expected in list(oracle.items())[::9]:
+            assert reborn.read(address) == expected

@@ -1,0 +1,129 @@
+"""Unit and property tests for the SECDED ECC codec."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.ecc import ECC_BYTES, SecdedCodec
+
+LINE = bytes(range(64))
+
+
+@pytest.fixture
+def codec():
+    return SecdedCodec()
+
+
+class TestEncodeWord:
+    def test_code_is_8_bits(self, codec):
+        for word in (0, 1, (1 << 64) - 1, 0xDEADBEEF):
+            assert 0 <= codec.encode_word(word) <= 0xFF
+
+    def test_clean_word_checks(self, codec):
+        word = 0x0123456789ABCDEF
+        code = codec.encode_word(word)
+        ok, fixed = codec.check_word(word, code)
+        assert ok
+        assert fixed == word
+
+    def test_single_bit_flip_corrected(self, codec):
+        word = 0x0123456789ABCDEF
+        code = codec.encode_word(word)
+        for bit in (0, 17, 63):
+            flipped = word ^ (1 << bit)
+            ok, fixed = codec.check_word(flipped, code)
+            assert ok
+            assert fixed == word
+
+    def test_double_bit_flip_detected(self, codec):
+        word = 0x0123456789ABCDEF
+        code = codec.encode_word(word)
+        flipped = word ^ 0b11
+        ok, _fixed = codec.check_word(flipped, code)
+        assert not ok
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_clean_property(self, word):
+        codec = SecdedCodec()
+        ok, fixed = codec.check_word(word, codec.encode_word(word))
+        assert ok and fixed == word
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_single_flip_corrected_property(self, word, bit):
+        codec = SecdedCodec()
+        code = codec.encode_word(word)
+        ok, fixed = codec.check_word(word ^ (1 << bit), code)
+        assert ok and fixed == word
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_double_flip_detected_property(self, word, bit_a, bit_b):
+        if bit_a == bit_b:
+            return
+        codec = SecdedCodec()
+        code = codec.encode_word(word)
+        ok, _fixed = codec.check_word(
+            word ^ (1 << bit_a) ^ (1 << bit_b), code
+        )
+        assert not ok
+
+
+class TestLineApi:
+    def test_encode_line_size(self, codec):
+        assert len(codec.encode_line(LINE)) == ECC_BYTES
+
+    def test_encode_line_rejects_bad_size(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode_line(b"short")
+
+    def test_clean_line_is_sane(self, codec):
+        assert codec.is_sane(LINE, codec.encode_line(LINE))
+
+    def test_corrupted_line_is_insane(self, codec):
+        ecc = codec.encode_line(LINE)
+        corrupted = bytes([LINE[0] ^ 1]) + LINE[1:]
+        assert not codec.is_sane(corrupted, ecc)
+
+    def test_is_sane_rejects_bad_lengths(self, codec):
+        assert not codec.is_sane(b"x", b"y")
+
+    def test_correct_line_fixes_one_flip_per_word(self, codec):
+        ecc = codec.encode_line(LINE)
+        corrupted = bytearray(LINE)
+        corrupted[3] ^= 0x10   # word 0
+        corrupted[40] ^= 0x02  # word 5
+        ok, repaired = codec.correct_line(bytes(corrupted), ecc)
+        assert ok
+        assert repaired == LINE
+
+    def test_correct_line_reports_double_flip(self, codec):
+        ecc = codec.encode_line(LINE)
+        corrupted = bytearray(LINE)
+        corrupted[0] ^= 0x03  # two bits in the same word
+        ok, _repaired = codec.correct_line(bytes(corrupted), ecc)
+        assert not ok
+
+    def test_random_garbage_virtually_never_sane(self, codec):
+        # The Osiris contract: a wrong-counter decrypt (uniform noise)
+        # passes with probability 2^-64.  100 random lines must all fail.
+        rng = random.Random(42)
+        failures = 0
+        for _ in range(100):
+            noise = bytes(rng.randrange(256) for _ in range(64))
+            ecc = bytes(rng.randrange(256) for _ in range(ECC_BYTES))
+            if not codec.is_sane(noise, ecc):
+                failures += 1
+        assert failures == 100
+
+    @given(st.binary(min_size=64, max_size=64))
+    def test_line_roundtrip_property(self, line):
+        codec = SecdedCodec()
+        assert codec.is_sane(line, codec.encode_line(line))

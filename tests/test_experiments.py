@@ -1,0 +1,198 @@
+"""Smoke tests for the experiment harness (small scales).
+
+Each experiment runs at a reduced size and is checked for the *shape*
+the paper reports — orderings and rough factors, not absolute numbers.
+"""
+
+import pytest
+
+from repro.config import GIB, KIB, SchemeKind, TIB
+from repro.experiments import (
+    fig05_recovery_osiris,
+    fig07_clean_evictions,
+    fig10_agit_perf,
+    fig11_asit_perf,
+    fig12_recovery_time,
+    fig13_cache_sensitivity,
+    headline,
+)
+from repro.experiments.reporting import (
+    format_markdown_table,
+    format_seconds,
+)
+
+FAST_BENCHMARKS = ["mcf", "libquantum", "gcc"]
+FAST_LENGTH = 2500
+
+
+class TestReporting:
+    def test_markdown_table_shape(self):
+        table = format_markdown_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_empty_rows(self):
+        table = format_markdown_table(["x"], [])
+        assert "x" in table
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(7200) == "2.00 h"
+        assert format_seconds(2.5) == "2.50 s"
+        assert format_seconds(0.005) == "5.00 ms"
+        assert format_seconds(5e-6) == "5.00 µs"
+        assert format_seconds(5e-8) == "50 ns"
+
+
+class TestFig05:
+    def test_default_capacities(self):
+        result = fig05_recovery_osiris.run()
+        assert len(result.capacities) == 7
+        assert result.hours_at_8tb == pytest.approx(7.7, abs=1.0)
+
+    def test_monotone_in_capacity(self):
+        result = fig05_recovery_osiris.run()
+        seconds = [result.recovery_seconds[c] for c in result.capacities]
+        assert seconds == sorted(seconds)
+
+    def test_table_renders(self):
+        result = fig05_recovery_osiris.run()
+        table = fig05_recovery_osiris.format_table(result)
+        assert "8 TB" in table
+
+
+class TestFig07:
+    def test_clean_fraction_shape(self):
+        result = fig07_clean_evictions.run(
+            benchmarks=FAST_BENCHMARKS, trace_length=FAST_LENGTH
+        )
+        # §4.2.2 / Fig. 7: read-dominated MCF evicts mostly clean
+        # blocks; write-hot libquantum mostly dirty ones.
+        assert result.clean_fraction("mcf") > 0.7
+        assert result.clean_fraction("libquantum") < 0.5
+        assert result.clean_fraction("mcf") > result.clean_fraction(
+            "libquantum"
+        )
+
+    def test_table_renders(self):
+        result = fig07_clean_evictions.run(
+            benchmarks=["gcc"], trace_length=FAST_LENGTH
+        )
+        assert "gcc" in fig07_clean_evictions.format_table(result)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_agit_perf.run(
+            benchmarks=FAST_BENCHMARKS, trace_length=FAST_LENGTH
+        )
+
+    def test_scheme_ordering(self, result):
+        averages = result.averages
+        assert averages[SchemeKind.WRITE_BACK] == pytest.approx(0.0)
+        assert (
+            averages[SchemeKind.OSIRIS]
+            <= averages[SchemeKind.AGIT_PLUS] + 0.5
+        )
+        assert averages[SchemeKind.AGIT_PLUS] < averages[SchemeKind.AGIT_READ]
+        assert (
+            averages[SchemeKind.AGIT_READ]
+            < averages[SchemeKind.STRICT_PERSISTENCE]
+        )
+
+    def test_mcf_punishes_agit_read(self, result):
+        # §6.1: AGIT-Read overhead "significantly high" for MCF.
+        assert result.overhead("mcf", SchemeKind.AGIT_READ) > 2 * (
+            result.overhead("mcf", SchemeKind.AGIT_PLUS)
+        )
+
+    def test_libquantum_punishes_osiris(self, result):
+        assert result.overhead("libquantum", SchemeKind.OSIRIS) >= (
+            result.overhead("gcc", SchemeKind.OSIRIS)
+        )
+
+    def test_table_renders(self, result):
+        table = fig10_agit_perf.format_table(result)
+        assert "gmean overhead" in table
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_asit_perf.run(
+            benchmarks=FAST_BENCHMARKS, trace_length=FAST_LENGTH
+        )
+
+    def test_asit_far_below_strict(self, result):
+        averages = result.averages
+        assert averages[SchemeKind.ASIT] < 0.5 * (
+            averages[SchemeKind.STRICT_PERSISTENCE]
+        )
+
+    def test_strict_writes_far_exceed_asit(self, result):
+        assert result.extra_writes[SchemeKind.STRICT_PERSISTENCE] > 3 * (
+            result.extra_writes[SchemeKind.ASIT]
+        )
+
+    def test_table_renders(self, result):
+        assert "extra writes/write" in fig11_asit_perf.format_table(result)
+
+
+class TestFig12:
+    def test_analytic_series(self):
+        result = fig12_recovery_time.run()
+        for size in result.cache_sizes:
+            assert result.asit_analytic[size] < result.agit_analytic[size]
+        agit = [result.agit_analytic[s] for s in result.cache_sizes]
+        assert agit == sorted(agit)
+
+    def test_all_points_subsecond(self):
+        result = fig12_recovery_time.run()
+        assert all(value < 1.0 for value in result.agit_analytic.values())
+
+    def test_functional_run(self):
+        result = fig12_recovery_time.run(
+            cache_sizes=[128 * KIB, 256 * KIB],
+            functional=True,
+            trace_length=1200,
+        )
+        for size in result.cache_sizes:
+            assert 0 < result.agit_functional[size] < 1.0
+            assert 0 < result.asit_functional[size] < 1.0
+
+    def test_table_renders(self):
+        result = fig12_recovery_time.run()
+        assert "AGIT worst-case" in fig12_recovery_time.format_table(result)
+
+
+class TestFig13:
+    def test_small_sweep(self):
+        result = fig13_cache_sensitivity.run(
+            cache_sizes=[64 * KIB, 256 * KIB], trace_length=4000
+        )
+        for scheme, series in result.normalized.items():
+            for value in series.values():
+                assert value >= 0.99
+        # bigger caches never hurt (within noise)
+        for scheme, series in result.normalized.items():
+            sizes = sorted(series)
+            assert series[sizes[-1]] <= series[sizes[0]] + 0.02
+
+    def test_table_renders(self):
+        result = fig13_cache_sensitivity.run(
+            cache_sizes=[64 * KIB], trace_length=1500
+        )
+        assert "sensitivity" in fig13_cache_sensitivity.format_table(result)
+
+
+class TestHeadline:
+    def test_speedup_magnitude(self):
+        result = headline.run()
+        assert result.speedup > 1e5
+        assert result.osiris_seconds / 3600 > 5
+        assert result.agit_seconds < 0.1
+
+    def test_table_renders(self):
+        assert "speedup" in headline.format_table(headline.run())

@@ -1,0 +1,82 @@
+"""Tests for the beyond-the-paper experiments and chart wiring."""
+
+import pytest
+
+from repro.config import KIB, SchemeKind
+from repro.experiments import (
+    extra_dirty_footprint,
+    fig05_recovery_osiris,
+    fig10_agit_perf,
+    fig12_recovery_time,
+)
+
+
+class TestDirtyFootprintSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extra_dirty_footprint.run(
+            footprints=[32, 128, 512, 1024], cache_bytes=16 * KIB
+        )
+
+    def test_linear_regime_below_capacity(self, result):
+        assert result.tracked_blocks[32] == 32
+        assert result.tracked_blocks[128] == 128
+
+    def test_saturates_at_cache_capacity(self, result):
+        slots = result.cache_slots
+        assert result.tracked_blocks[512] == min(512, slots)
+        assert result.tracked_blocks[1024] == slots
+
+    def test_recovery_time_monotone(self, result):
+        seconds = [
+            result.recovery_seconds[pages] for pages in result.footprints
+        ]
+        assert seconds == sorted(seconds)
+
+    def test_table_marks_saturation(self, result):
+        table = extra_dirty_footprint.format_table(result)
+        assert "saturated" in table
+
+
+class TestChartWiring:
+    def test_fig05_chart(self):
+        result = fig05_recovery_osiris.run()
+        chart = fig05_recovery_osiris.format_chart(result)
+        assert "8 TB" in chart
+        assert "█" in chart
+
+    def test_fig10_chart(self):
+        result = fig10_agit_perf.run(
+            benchmarks=["gcc"], trace_length=1500
+        )
+        chart = fig10_agit_perf.format_chart(result)
+        assert "gcc:" in chart
+        assert SchemeKind.STRICT_PERSISTENCE.value in chart
+
+    def test_fig12_chart(self):
+        result = fig12_recovery_time.run()
+        chart = fig12_recovery_time.format_chart(result)
+        assert "AGIT:" in chart
+        assert "128KB" in chart
+
+
+class TestRunnerIntegration:
+    def test_dirty_footprint_registered(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["dirty_footprint"]) == 0
+        out = capsys.readouterr().out
+        assert "dirty footprint" in out
+
+
+class TestJsonExport:
+    def test_runner_writes_structured_results(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+        import json
+
+        out = tmp_path / "results.json"
+        assert main(["fig05", "headline", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert set(data) == {"fig05", "headline"}
+        assert data["headline"]["speedup"] > 1e5
+        assert data["fig05"]["hours_at_8tb"] == pytest.approx(7.7, abs=1.0)

@@ -1,0 +1,199 @@
+"""Cross-module integration scenarios.
+
+Each test tells one complete story through the public API: run a
+realistic workload, crash, recover, continue — exactly what a
+downstream user of the library does.
+"""
+
+import pytest
+
+from repro import (
+    AgitRecovery,
+    AsitRecovery,
+    IntegrityError,
+    OsirisFullRecovery,
+    ProcessorKeys,
+    SchemeKind,
+    TreeKind,
+    build_controller,
+    crash,
+    generate_trace,
+    profile,
+    reincarnate,
+    replay,
+    run_simulation,
+)
+from repro.traces.profiles import SyntheticProfile
+
+from tests.helpers import small_config
+
+MIB = 1024 * 1024
+
+SMALL_WORKLOAD = SyntheticProfile(
+    name="integration-mix",
+    write_fraction=0.4,
+    pattern="hot_cold",
+    footprint_bytes=2 * MIB,
+    hot_bytes=256 * 1024,
+    hot_fraction=0.7,
+    rewrite_count=3,
+    gap_mean_ns=120.0,
+)
+
+
+def make_trace(length=1500, seed=0):
+    return generate_trace(SMALL_WORKLOAD, length, seed=seed)
+
+
+class TestLifecycleAgit:
+    def test_full_lifecycle(self):
+        keys = ProcessorKeys(21)
+        controller = build_controller(
+            small_config(SchemeKind.AGIT_PLUS), keys=keys
+        )
+        trace = make_trace()
+        oracle = replay(controller, trace)
+
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.root_matched
+
+        # all data intact
+        for address, expected in oracle.items():
+            assert reborn.read(address) == expected
+
+        # system continues working and survives a second crash
+        oracle = replay(reborn, make_trace(seed=1), oracle=oracle)
+        crash(reborn)
+        reborn2 = reincarnate(reborn)
+        AgitRecovery(reborn2.nvm, reborn2.layout, reborn2).run()
+        for address, expected in list(oracle.items())[::5]:
+            assert reborn2.read(address) == expected
+
+
+class TestLifecycleAsit:
+    def test_full_lifecycle(self):
+        keys = ProcessorKeys(22)
+        controller = build_controller(
+            small_config(SchemeKind.ASIT, TreeKind.SGX), keys=keys
+        )
+        trace = make_trace()
+        oracle = replay(controller, trace)
+
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.shadow_root_matched
+        for address, expected in oracle.items():
+            assert reborn.read(address) == expected
+
+        oracle = replay(reborn, make_trace(seed=1), oracle=oracle)
+        crash(reborn)
+        reborn2 = reincarnate(reborn)
+        AsitRecovery(reborn2.nvm, reborn2.layout, reborn2).run()
+        for address, expected in list(oracle.items())[::5]:
+            assert reborn2.read(address) == expected
+
+
+class TestCrossSchemeStory:
+    def test_unrecoverable_baseline_vs_recoverable_anubis(self):
+        """The paper's core contrast on one workload."""
+        keys = ProcessorKeys(23)
+        trace = make_trace(length=800)
+
+        baseline = build_controller(small_config(), keys=keys)
+        oracle = replay(baseline, trace)
+        crash(baseline)
+        reborn_baseline = reincarnate(baseline)
+        with pytest.raises(IntegrityError):
+            for address in oracle:
+                reborn_baseline.read(address)
+
+        anubis = build_controller(
+            small_config(SchemeKind.AGIT_PLUS), keys=ProcessorKeys(24)
+        )
+        oracle = replay(anubis, trace)
+        crash(anubis)
+        reborn_anubis = reincarnate(anubis)
+        AgitRecovery(
+            reborn_anubis.nvm, reborn_anubis.layout, reborn_anubis
+        ).run()
+        for address, expected in oracle.items():
+            assert reborn_anubis.read(address) == expected
+
+    def test_agit_recovery_much_cheaper_than_full(self):
+        """O(cache) vs O(touched memory) on the same crashed image."""
+        keys = ProcessorKeys(25)
+        trace = generate_trace(SMALL_WORKLOAD, 2000, seed=3)
+        controller = build_controller(
+            small_config(SchemeKind.AGIT_PLUS), keys=keys
+        )
+        replay(controller, trace)
+        crash(controller)
+
+        image_full = controller.nvm.snapshot()
+        reborn = reincarnate(controller)
+        agit_report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+        full_controller = build_controller(
+            small_config(SchemeKind.AGIT_PLUS), keys=keys, nvm=image_full
+        )
+        full_controller.engine.root_node = controller.engine.root_node.copy()
+        full_report = OsirisFullRecovery(
+            image_full, full_controller.layout, full_controller
+        ).run()
+        assert agit_report.memory_reads < full_report.memory_reads
+
+    def test_simulation_overheads_ordered(self):
+        """Fig. 10's qualitative ordering on a single workload."""
+        keys = ProcessorKeys(26)
+        trace = generate_trace(profile("libquantum"), 3000, seed=0)
+        elapsed = {}
+        for scheme in (
+            SchemeKind.WRITE_BACK,
+            SchemeKind.OSIRIS,
+            SchemeKind.AGIT_PLUS,
+            SchemeKind.STRICT_PERSISTENCE,
+        ):
+            config = small_config(scheme, memory_bytes=64 * MIB)
+            elapsed[scheme] = run_simulation(config, trace, keys).elapsed_ns
+        assert elapsed[SchemeKind.WRITE_BACK] <= elapsed[SchemeKind.OSIRIS]
+        assert elapsed[SchemeKind.OSIRIS] <= elapsed[SchemeKind.AGIT_PLUS] * 1.02
+        assert (
+            elapsed[SchemeKind.AGIT_PLUS]
+            < elapsed[SchemeKind.STRICT_PERSISTENCE]
+        )
+
+
+class TestEnduranceStory:
+    def test_strict_wears_nvm_fastest(self):
+        keys = ProcessorKeys(27)
+        trace = make_trace(length=1000)
+        writes = {}
+        for scheme, tree in (
+            (SchemeKind.WRITE_BACK, TreeKind.BONSAI),
+            (SchemeKind.ASIT, TreeKind.SGX),
+            (SchemeKind.STRICT_PERSISTENCE, TreeKind.BONSAI),
+        ):
+            result = run_simulation(small_config(scheme, tree), trace, keys)
+            writes[scheme] = result.nvm_writes
+        assert (
+            writes[SchemeKind.WRITE_BACK]
+            <= writes[SchemeKind.ASIT]
+            <= writes[SchemeKind.STRICT_PERSISTENCE]
+        )
+
+    def test_asit_roughly_one_extra_write_per_write(self):
+        keys = ProcessorKeys(28)
+        trace = make_trace(length=1500)
+        result = run_simulation(
+            small_config(SchemeKind.ASIT, TreeKind.SGX), trace, keys
+        )
+        baseline = run_simulation(
+            small_config(SchemeKind.WRITE_BACK, TreeKind.SGX), trace, keys
+        )
+        extra = result.extra_writes_per_data_write - (
+            baseline.extra_writes_per_data_write
+        )
+        assert 0.3 < extra < 2.0  # §6.2: "one extra write per memory write"

@@ -1,0 +1,191 @@
+"""Unit and property tests for the physical memory layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import MemoryConfig, TreeKind
+from repro.errors import AlignmentError, LayoutError
+from repro.mem.layout import MemoryLayout, Region
+
+MIB = 1024 * 1024
+
+
+def small_layout(tree=TreeKind.BONSAI) -> MemoryLayout:
+    return MemoryLayout(
+        MemoryConfig(capacity_bytes=4 * MIB), tree, metadata_cache_blocks=128
+    )
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", 1024, 2048)
+        assert region.contains(1024)
+        assert region.contains(3071)
+        assert not region.contains(3072)
+        assert not region.contains(1023)
+
+    def test_block_index_roundtrip(self):
+        region = Region("r", 4096, 4096)
+        for index in (0, 1, 63):
+            assert region.block_index(region.block_address(index)) == index
+
+    def test_block_index_outside_raises(self):
+        region = Region("r", 0, 64)
+        with pytest.raises(LayoutError):
+            region.block_index(64)
+
+    def test_block_address_outside_raises(self):
+        region = Region("r", 0, 64)
+        with pytest.raises(LayoutError):
+            region.block_address(1)
+
+    def test_num_blocks(self):
+        assert Region("r", 0, 4096).num_blocks == 64
+
+
+class TestBonsaiGeometry:
+    def test_level_counts_shrink_by_arity(self):
+        layout = small_layout()
+        # 4MB / 4KB pages = 1024 counter blocks
+        assert layout.level_counts == [1024, 128, 16, 2, 1]
+        assert layout.root_level == 4
+
+    def test_stored_levels_exclude_root(self):
+        layout = small_layout()
+        assert len(layout.level_regions) == 4
+        assert layout.stored_tree_levels == 4
+
+    def test_regions_are_disjoint_and_ordered(self):
+        layout = small_layout()
+        regions = [layout.data, *layout.level_regions, layout.sct, layout.smt, layout.st]
+        for before, after in zip(regions, regions[1:]):
+            assert before.end == after.base
+
+    def test_counter_block_mapping(self):
+        layout = small_layout()
+        base = layout.counter_region.base
+        assert layout.counter_block_for(0) == base
+        assert layout.counter_block_for(4032) == base  # last line, same page
+        assert layout.counter_block_for(4096) == base + 64
+
+    def test_counter_slot_mapping(self):
+        layout = small_layout()
+        assert layout.counter_slot_for(0) == 0
+        assert layout.counter_slot_for(64) == 1
+        assert layout.counter_slot_for(4096 + 128) == 2
+
+    def test_data_address_alignment_enforced(self):
+        layout = small_layout()
+        with pytest.raises(AlignmentError):
+            layout.check_data_address(33)
+
+    def test_data_address_range_enforced(self):
+        layout = small_layout()
+        with pytest.raises(LayoutError):
+            layout.check_data_address(4 * MIB)
+
+
+class TestSgxGeometry:
+    def test_leaf_covers_eight_lines(self):
+        layout = small_layout(TreeKind.SGX)
+        assert layout.lines_per_counter_block == 8
+        # 4MB / 64B = 65536 lines / 8 = 8192 version blocks
+        assert layout.level_counts[0] == 8192
+
+    def test_slot_mapping(self):
+        layout = small_layout(TreeKind.SGX)
+        assert layout.counter_slot_for(0) == 0
+        assert layout.counter_slot_for(7 * 64) == 7
+        assert layout.counter_slot_for(8 * 64) == 0
+
+
+class TestTreeNavigation:
+    def test_parent_child_inverse(self):
+        layout = small_layout()
+        for level in range(1, layout.root_level):
+            for index in (0, 3, layout.level_counts[level] - 1):
+                children = layout.children_of(level, index)
+                for child_level, child_index in children:
+                    assert layout.parent_of(child_level, child_index) == (
+                        level,
+                        index,
+                    )
+
+    def test_last_node_may_have_fewer_children(self):
+        layout = small_layout()
+        # level 3 has 2 nodes over 16 level-2 nodes: both full here;
+        # level 4 (root) over 2 children is the short one but on-chip.
+        children = layout.children_of(3, 1)
+        assert len(children) == 8
+
+    def test_children_of_leaf_raises(self):
+        layout = small_layout()
+        with pytest.raises(LayoutError):
+            layout.children_of(0, 0)
+
+    def test_parent_of_root_raises(self):
+        layout = small_layout()
+        with pytest.raises(LayoutError):
+            layout.parent_of(layout.root_level, 0)
+
+    def test_locate_node_roundtrip(self):
+        layout = small_layout()
+        for level in range(layout.root_level):
+            address = layout.node_address(level, 1)
+            assert layout.locate_node(address) == (level, 1)
+
+    def test_locate_non_tree_address_raises(self):
+        layout = small_layout()
+        with pytest.raises(LayoutError):
+            layout.locate_node(0)  # data region
+
+    def test_node_address_rejects_root_level(self):
+        layout = small_layout()
+        with pytest.raises(LayoutError):
+            layout.node_address(layout.root_level, 0)
+
+    def test_ancestors_of_counter(self):
+        layout = small_layout()
+        ancestors = layout.ancestors_of_counter(layout.counter_region.base)
+        # stored levels 1..3 (root level 4 is on-chip)
+        assert len(ancestors) == 3
+        levels = [layout.locate_node(address)[0] for address in ancestors]
+        assert levels == [1, 2, 3]
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_ancestor_chain_property(self, leaf_index):
+        layout = small_layout()
+        address = layout.counter_region.block_address(leaf_index)
+        ancestors = layout.ancestors_of_counter(address)
+        level, index = 0, leaf_index
+        for ancestor in ancestors:
+            level, index = layout.parent_of(level, index)
+            assert layout.node_address(level, index) == ancestor
+
+
+class TestShadowRegions:
+    def test_sct_packs_eight_addresses_per_block(self):
+        layout = small_layout()
+        assert layout.sct_entry_address(0) == layout.sct.base
+        assert layout.sct_entry_address(7) == layout.sct.base
+        assert layout.sct_entry_address(8) == layout.sct.base + 64
+
+    def test_smt_separate_from_sct(self):
+        layout = small_layout()
+        assert layout.smt_entry_address(0) == layout.smt.base
+        assert layout.smt.base != layout.sct.base
+
+    def test_st_one_entry_per_slot(self):
+        layout = small_layout(TreeKind.SGX)
+        assert layout.st_entry_address(0) == layout.st.base
+        assert layout.st_entry_address(1) == layout.st.base + 64
+
+    def test_st_region_covers_combined_cache(self):
+        layout = small_layout(TreeKind.SGX)
+        assert layout.st.size == 2 * 128 * 64
+
+    def test_describe_mentions_every_region(self):
+        description = small_layout().describe()
+        for name in ("data", "tree_l0", "sct", "smt", "st", "root level"):
+            assert name in description

@@ -1,0 +1,140 @@
+"""Unit tests for the NVM device model."""
+
+import pytest
+
+from repro.errors import AlignmentError, LayoutError
+from repro.mem.layout import Region
+from repro.mem.nvm import NvmDevice
+
+SIZE = 64 * 1024
+LINE = bytes(range(64))
+
+
+@pytest.fixture
+def nvm():
+    return NvmDevice(SIZE)
+
+
+class TestBasicIo:
+    def test_unwritten_reads_zero(self, nvm):
+        assert nvm.read(0) == bytes(64)
+
+    def test_write_then_read(self, nvm):
+        nvm.write(128, LINE)
+        assert nvm.read(128) == LINE
+
+    def test_write_is_copied(self, nvm):
+        data = bytearray(LINE)
+        nvm.write(0, bytes(data))
+        data[0] = 99
+        assert nvm.read(0) == LINE
+
+    def test_misaligned_rejected(self, nvm):
+        with pytest.raises(AlignmentError):
+            nvm.read(1)
+
+    def test_out_of_range_rejected(self, nvm):
+        with pytest.raises(LayoutError):
+            nvm.write(SIZE, LINE)
+
+    def test_wrong_block_size_rejected(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.write(0, b"short")
+
+    def test_bad_device_size_rejected(self):
+        with pytest.raises(LayoutError):
+            NvmDevice(100)
+
+
+class TestDefaultProvider:
+    def test_provider_serves_unwritten(self, nvm):
+        sentinel = bytes([7]) * 64
+        nvm.default_provider = lambda address: sentinel
+        assert nvm.read(0) == sentinel
+        assert nvm.peek(64) == sentinel
+
+    def test_written_overrides_provider(self, nvm):
+        nvm.default_provider = lambda address: bytes([7]) * 64
+        nvm.write(0, LINE)
+        assert nvm.read(0) == LINE
+
+    def test_snapshot_keeps_provider(self, nvm):
+        sentinel = bytes([9]) * 64
+        nvm.default_provider = lambda address: sentinel
+        assert nvm.snapshot().read(0) == sentinel
+
+
+class TestAccounting:
+    def test_read_write_counts(self, nvm):
+        nvm.write(0, LINE)
+        nvm.read(0)
+        nvm.read(64)
+        assert nvm.total_writes == 1
+        assert nvm.total_reads == 2
+
+    def test_peek_poke_do_not_count(self, nvm):
+        nvm.poke(0, LINE)
+        nvm.peek(0)
+        assert nvm.total_reads == 0
+        assert nvm.total_writes == 0
+
+    def test_poke_changes_content(self, nvm):
+        nvm.poke(0, LINE)
+        assert nvm.read(0) == LINE
+
+    def test_per_block_write_counts(self, nvm):
+        for _ in range(3):
+            nvm.write(0, LINE)
+        nvm.write(64, LINE)
+        assert nvm.write_count(0) == 3
+        assert nvm.write_count(64) == 1
+        assert nvm.write_count(128) == 0
+
+    def test_is_written(self, nvm):
+        assert not nvm.is_written(0)
+        nvm.write(0, LINE)
+        assert nvm.is_written(0)
+
+    def test_region_write_totals(self, nvm):
+        low = Region("low", 0, 1024)
+        high = Region("high", 1024, SIZE - 1024)
+        nvm.write(0, LINE)
+        nvm.write(64, LINE)
+        nvm.write(2048, LINE)
+        totals = nvm.region_write_totals([low, high])
+        assert totals == {"low": 2, "high": 1}
+
+    def test_touched_blocks_sorted(self, nvm):
+        nvm.write(128, LINE)
+        nvm.write(0, LINE)
+        addresses = [address for address, _data in nvm.touched_blocks()]
+        assert addresses == [0, 128]
+
+
+class TestSideband:
+    def test_default_sideband(self, nvm):
+        assert nvm.read_ecc(0) == bytes(16)
+
+    def test_sideband_roundtrip(self, nvm):
+        nvm.write_ecc(0, b"\xab" * 16)
+        assert nvm.read_ecc(0) == b"\xab" * 16
+
+    def test_sideband_independent_of_data(self, nvm):
+        nvm.write(0, LINE)
+        assert nvm.read_ecc(0) == bytes(16)
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep(self, nvm):
+        nvm.write(0, LINE)
+        clone = nvm.snapshot()
+        nvm.write(0, bytes(64))
+        assert clone.read(0) == LINE
+
+    def test_snapshot_copies_sideband(self, nvm):
+        nvm.write_ecc(0, b"\x01" * 16)
+        assert nvm.snapshot().read_ecc(0) == b"\x01" * 16
+
+    def test_snapshot_copies_write_counts(self, nvm):
+        nvm.write(0, LINE)
+        assert nvm.snapshot().write_count(0) == 1

@@ -1,0 +1,71 @@
+"""Paper-scale end-to-end runs (marked slow).
+
+Everything else in the suite runs on miniature geometries for speed;
+these tests run the actual Table-1 configuration (16GB PCM, 256KB
+caches) through a real workload, crash, and recovery, so the shipped
+defaults are exercised end to end at least once per CI run.
+"""
+
+import pytest
+
+from repro import (
+    AgitRecovery,
+    AsitRecovery,
+    ProcessorKeys,
+    SchemeKind,
+    TreeKind,
+    build_controller,
+    crash,
+    default_table1_config,
+    generate_trace,
+    profile,
+    reincarnate,
+    replay,
+)
+
+
+@pytest.mark.slow
+class TestTable1Scale:
+    def test_agit_plus_full_config_lifecycle(self):
+        config = default_table1_config(SchemeKind.AGIT_PLUS)
+        assert config.memory.capacity_bytes == 16 * 1024**3
+        controller = build_controller(config, keys=ProcessorKeys(0))
+        trace = generate_trace(profile("libquantum"), 8000, seed=0)
+        oracle = replay(controller, trace)
+
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.root_matched
+        # the headline property at the real geometry: recovery work is
+        # bounded by the 4096-slot caches, not the 256M-line memory
+        assert report.tracked_counter_blocks <= 4096
+        assert report.estimated_seconds() < 0.1
+        for address, expected in list(oracle.items())[::17]:
+            assert reborn.read(address) == expected
+
+    def test_asit_full_config_lifecycle(self):
+        config = default_table1_config(SchemeKind.ASIT, TreeKind.SGX)
+        controller = build_controller(config, keys=ProcessorKeys(0))
+        trace = generate_trace(profile("gcc"), 8000, seed=0)
+        oracle = replay(controller, trace)
+
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.shadow_root_matched
+        # combined metadata cache: 512KB -> 8192 slots
+        assert report.valid_entries <= 8192
+        assert report.estimated_seconds() < 0.1
+        for address, expected in list(oracle.items())[::17]:
+            assert reborn.read(address) == expected
+
+    def test_tree_depth_matches_16gb_geometry(self):
+        config = default_table1_config()
+        from repro.controller.factory import build_layout
+
+        layout = build_layout(config)
+        # 16GB / 4KB pages = 4M counter blocks; log8(4M) => 8 stored
+        # levels plus the on-chip root.
+        assert layout.level_counts[0] == 4 * 1024 * 1024
+        assert layout.root_level == 8

@@ -1,0 +1,132 @@
+"""Tests for phase-based counter recovery (§2.4's bus-extension scheme)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CounterRecoveryKind, EncryptionConfig, SchemeKind
+from repro.controller.factory import build_controller
+from repro.core.recovery_agit import AgitRecovery
+from repro.crypto.keys import ProcessorKeys
+from repro.errors import ConfigError
+from repro.recovery.crash import crash, reincarnate
+
+from tests.helpers import line, make_controller, payload, small_config
+
+
+def phase_config(scheme=SchemeKind.AGIT_PLUS, stop_loss=4):
+    config = small_config(scheme)
+    return replace(
+        config,
+        encryption=replace(
+            config.encryption,
+            counter_recovery=CounterRecoveryKind.PHASE,
+            stop_loss_limit=stop_loss,
+        ),
+    )
+
+
+def make_phase_controller(scheme=SchemeKind.AGIT_PLUS, seed=1, stop_loss=4):
+    return build_controller(
+        phase_config(scheme, stop_loss), keys=ProcessorKeys(seed)
+    )
+
+
+class TestConfig:
+    def test_phase_bits_derived_from_stop_loss(self):
+        assert EncryptionConfig(stop_loss_limit=4).phase_bits == 2
+        assert EncryptionConfig(stop_loss_limit=8).phase_bits == 3
+        assert EncryptionConfig(stop_loss_limit=1).phase_bits == 0
+
+    def test_phase_requires_power_of_two_stop_loss(self):
+        with pytest.raises(ConfigError):
+            EncryptionConfig(
+                stop_loss_limit=5,
+                counter_recovery=CounterRecoveryKind.PHASE,
+            )
+
+
+class TestRuntime:
+    def test_sideband_carries_clear_phase(self):
+        controller = make_phase_controller()
+        for index in range(3):
+            controller.write(line(0), payload(index))
+        controller.wpq.drain_all()
+        sideband = controller.nvm.read_ecc(0)
+        assert len(sideband) == 17
+        assert sideband[16] == 3 & 0b11  # minor=3, 2 phase bits
+
+    def test_reads_still_verify(self):
+        controller = make_phase_controller()
+        controller.write(line(0), payload(7))
+        assert controller.read(line(0)) == payload(7)
+
+    def test_osiris_mode_sideband_has_no_phase(self):
+        controller = make_controller(SchemeKind.AGIT_PLUS)
+        controller.write(line(0), payload(1))
+        controller.wpq.drain_all()
+        assert len(controller.nvm.read_ecc(0)) == 16
+
+
+class TestRecovery:
+    def test_round_trip(self):
+        controller = make_phase_controller()
+        oracle = {}
+        for index in range(50):
+            address = line(index * 16)
+            controller.write(address, payload(index % 250))
+            oracle[address] = payload(index % 250)
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.root_matched
+        for address, expected in oracle.items():
+            assert reborn.read(address) == expected
+
+    def test_one_trial_per_counter(self):
+        """The phase field removes the trial loop: exactly one decrypt
+        per repaired counter regardless of how stale it is."""
+        controller = make_phase_controller()
+        for index in range(3):  # 3 unpersisted increments (stop-loss 4)
+            controller.write(line(0), payload(index))
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.osiris_trials == 1
+        assert reborn.read(line(0)) == payload(2)
+
+    def test_fewer_trials_than_osiris(self):
+        def crashed_report(config_builder, seed):
+            controller = config_builder(seed)
+            for index in range(11):
+                controller.write(line(0), payload(index))
+            crash(controller)
+            reborn = reincarnate(controller)
+            return AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+        phase_report = crashed_report(
+            lambda seed: make_phase_controller(seed=seed), 4
+        )
+        osiris_report = crashed_report(
+            lambda seed: make_controller(SchemeKind.AGIT_PLUS, seed=seed), 4
+        )
+        assert phase_report.osiris_trials < osiris_report.osiris_trials
+
+    def test_wide_phase_with_large_stop_loss(self):
+        controller = make_phase_controller(stop_loss=16)
+        for index in range(13):  # far beyond an Osiris-4 window
+            controller.write(line(0), payload(index))
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.root_matched
+        assert reborn.read(line(0)) == payload(12)
+
+    def test_recovery_after_overflow(self):
+        controller = make_phase_controller()
+        for index in range(130):
+            controller.write(line(0), payload(index % 250))
+        crash(controller)
+        reborn = reincarnate(controller)
+        AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert reborn.read(line(0)) == payload(129 % 250)

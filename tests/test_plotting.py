@@ -1,0 +1,83 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, grouped_bar_chart, sweep_chart
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_one_row_per_item(self):
+        chart = bar_chart([("a", 1.0), ("bb", 2.0)])
+        assert len(chart.splitlines()) == 2
+
+    def test_largest_value_fills_width(self):
+        chart = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        rows = chart.splitlines()
+        assert rows[1].count("█") == 10
+        assert rows[0].count("█") == 5
+
+    def test_values_printed(self):
+        chart = bar_chart([("x", 1.5)], unit="%")
+        assert "1.5%" in chart
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("a", 1.0), ("long", 1.0)])
+        rows = chart.splitlines()
+        assert rows[0].index("|") == rows[1].index("|")
+
+    def test_baseline_marker(self):
+        chart = bar_chart([("a", 0.5), ("b", 2.0)], baseline=1.0, width=20)
+        assert "·" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "(no data)" not in chart
+
+
+class TestGroupedBarChart:
+    def test_empty(self):
+        assert grouped_bar_chart([]) == "(no data)"
+
+    def test_structure(self):
+        chart = grouped_bar_chart(
+            [
+                ("mcf", [("base", 1.0), ("strict", 1.5)]),
+                ("lbm", [("base", 1.0), ("strict", 2.4)]),
+            ]
+        )
+        rows = chart.splitlines()
+        assert rows[0] == "mcf:"
+        assert len(rows) == 6
+        assert any("2.4" in row for row in rows)
+
+    def test_shared_scale(self):
+        chart = grouped_bar_chart(
+            [
+                ("g1", [("s", 4.0)]),
+                ("g2", [("s", 2.0)]),
+            ],
+            width=8,
+        )
+        rows = [row for row in chart.splitlines() if "█" in row]
+        assert rows[0].count("█") == 8
+        assert rows[1].count("█") == 4
+
+
+class TestSweepChart:
+    def test_empty(self):
+        assert sweep_chart({}) == "(no data)"
+
+    def test_per_series_sections(self):
+        chart = sweep_chart(
+            {
+                "agit": {256: 1.1, 512: 1.05},
+                "asit": {256: 1.2, 512: 1.07},
+            },
+            x_format=lambda x: f"{x}KB",
+        )
+        assert "agit:" in chart
+        assert "256KB" in chart
+        assert "1.05" in chart

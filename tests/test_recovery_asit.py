@@ -1,0 +1,198 @@
+"""ASIT recovery (Algorithm 2) tests: round trips, tamper, bounds."""
+
+import pytest
+
+from repro.config import SchemeKind, TreeKind
+from repro.core.recovery_asit import AsitRecovery
+from repro.errors import MacMismatchError, UnrecoverableError
+from repro.recovery.crash import crash, reincarnate
+
+from tests.helpers import line, make_controller, payload
+
+
+def make_asit(**kwargs):
+    return make_controller(SchemeKind.ASIT, TreeKind.SGX, **kwargs)
+
+
+def run_workload(controller, writes=60, reads=20, stride=8):
+    oracle = {}
+    for index in range(writes):
+        address = line(index * stride)
+        data = payload(index % 250)
+        controller.write(address, data)
+        oracle[address] = data
+    for index in range(reads):
+        controller.read(line(index * stride))
+    return oracle
+
+
+def crash_and_recover(controller):
+    crash(controller)
+    reborn = reincarnate(controller)
+    report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+    return reborn, report
+
+
+class TestRoundTrip:
+    def test_all_data_readable_after_recovery(self):
+        controller = make_asit()
+        oracle = run_workload(controller)
+        reborn, report = crash_and_recover(controller)
+        assert report.shadow_root_matched
+        for address, expected in oracle.items():
+            assert reborn.read(address) == expected
+
+    def test_recovery_with_hot_rewrites(self):
+        controller = make_asit()
+        for index in range(25):
+            controller.write(line(0), payload(index))
+        reborn, _report = crash_and_recover(controller)
+        assert reborn.read(line(0)) == payload(24)
+
+    def test_recovery_under_eviction_pressure(self):
+        controller = make_asit()
+        oracle = {}
+        for index in range(500):
+            address = line(index * 8)
+            controller.write(address, payload(index % 250))
+            oracle[address] = payload(index % 250)
+        reborn, _report = crash_and_recover(controller)
+        for address, expected in list(oracle.items())[::11]:
+            assert reborn.read(address) == expected
+
+    def test_post_recovery_writes_continue(self):
+        controller = make_asit()
+        run_workload(controller, writes=20, reads=0)
+        reborn, _report = crash_and_recover(controller)
+        reborn.write(line(4000), payload(99))
+        assert reborn.read(line(4000)) == payload(99)
+
+    def test_double_crash_recovery(self):
+        controller = make_asit()
+        controller.write(line(0), payload(1))
+        reborn, _ = crash_and_recover(controller)
+        reborn.write(line(0), payload(2))
+        reborn2, report2 = crash_and_recover(reborn)
+        assert report2.shadow_root_matched
+        assert reborn2.read(line(0)) == payload(2)
+
+    def test_recovery_resets_shadow_table(self):
+        controller = make_asit()
+        run_workload(controller, writes=20, reads=0)
+        reborn, report = crash_and_recover(controller)
+        assert report.valid_entries > 0
+        # A second recovery finds a clean table.
+        crash(reborn)
+        reborn2 = reincarnate(reborn)
+        report2 = AsitRecovery(reborn2.nvm, reborn2.layout, reborn2).run()
+        assert report2.valid_entries == 0
+
+    def test_recovery_after_lsb_wrap(self):
+        controller = make_asit()
+        leaf = controller.layout.counter_block_for(line(0))
+        controller.write(line(0), payload(0))
+        record = controller.metadata_cache.peek(leaf)
+        record.node.counters[0] = (1 << controller.lsb_bits) - 1
+        controller.write(line(0), payload(1))  # wraps; node persisted
+        controller.write(line(0), payload(2))
+        # NOTE: data for line(0) was sealed under huge counters; keep
+        # the oracle simple and only check the last write.
+        reborn, _report = crash_and_recover(controller)
+        assert reborn.read(line(0)) == payload(2)
+
+
+class TestRecoveryBounds:
+    def test_work_bounded_by_cache_not_memory(self):
+        controller = make_asit()
+        run_workload(controller, writes=200, reads=0, stride=64)
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        slots = reborn.metadata_cache.num_slots
+        # ST scan + stale node per valid entry + at most one parent each
+        assert report.memory_reads <= slots + 2 * report.valid_entries
+
+    def test_no_osiris_trials_needed(self):
+        """§6.3.1: ASIT recovery never reads data lines or runs trials."""
+        controller = make_asit()
+        oracle = run_workload(controller, writes=50, reads=0)
+        crash(controller)
+        reborn = reincarnate(controller)
+        data_reads_before = reborn.nvm.total_reads
+        AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+        # Recovery used peek() only; no counted device reads of data.
+        assert reborn.nvm.total_reads == data_reads_before
+
+    def test_estimated_time_small(self):
+        controller = make_asit()
+        run_workload(controller, writes=30, reads=0)
+        _reborn, report = crash_and_recover(controller)
+        assert 0 < report.estimated_seconds() < 0.1
+
+
+class TestTamperDetection:
+    def test_tampered_st_entry_unrecoverable(self):
+        controller = make_asit()
+        run_workload(controller, writes=20, reads=0)
+        crash(controller)
+        # flip a byte in the first written ST block
+        for slot in range(controller.metadata_cache.num_slots):
+            address = controller.layout.st_entry_address(slot)
+            if controller.nvm.is_written(address):
+                raw = bytearray(controller.nvm.peek(address))
+                raw[0] ^= 0x02  # not the valid bit
+                controller.nvm.poke(address, bytes(raw))
+                break
+        reborn = reincarnate(controller)
+        with pytest.raises(UnrecoverableError):
+            AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+    def test_erased_st_unrecoverable(self):
+        controller = make_asit()
+        run_workload(controller, writes=20, reads=0)
+        crash(controller)
+        for slot in range(controller.metadata_cache.num_slots):
+            address = controller.layout.st_entry_address(slot)
+            if controller.nvm.is_written(address):
+                controller.nvm.poke(address, bytes(64))
+        reborn = reincarnate(controller)
+        with pytest.raises(UnrecoverableError):
+            AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+    def test_tampered_msbs_fail_mac_verification(self):
+        """§4.3.2: memory supplies only counter MSBs; recovery verifies
+        the spliced node's MAC, so MSB tampering is caught."""
+        controller = make_asit()
+        controller.write(line(0), payload(1))
+        leaf = controller.layout.counter_block_for(line(0))
+        crash(controller)
+        from repro.counters.sgx import SgxCounterBlock
+
+        stale = SgxCounterBlock.from_bytes(controller.nvm.peek(leaf))
+        stale.counters[0] |= 1 << 55  # flip an MSB above the LSB field
+        controller.nvm.poke(leaf, stale.to_bytes())
+        reborn = reincarnate(controller)
+        with pytest.raises(MacMismatchError):
+            AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+
+class TestWhyOsirisCannotRecoverSgx:
+    def test_osiris_sgx_loses_intermediate_nodes(self):
+        """The paper's motivating claim: with counters recoverable but
+        intermediate nonces lost, the SGX tree cannot verify."""
+        controller = make_controller(SchemeKind.OSIRIS, TreeKind.SGX)
+        # Force updates deep enough that an intermediate node dirties,
+        # then crash without any writeback.
+        for index in range(300):
+            controller.write(line(index * 8), payload(index % 250))
+        crash(controller)
+        reborn = reincarnate(controller)
+        from repro.errors import IntegrityError
+
+        failures = 0
+        for index in range(0, 300, 7):
+            try:
+                reborn.read(line(index * 8))
+            except IntegrityError:
+                failures += 1
+        assert failures > 0

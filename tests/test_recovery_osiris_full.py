@@ -1,0 +1,130 @@
+"""Whole-memory Osiris recovery tests (the baseline Anubis beats)."""
+
+import pytest
+
+from repro.config import SchemeKind
+from repro.core.recovery_agit import AgitRecovery
+from repro.errors import RootMismatchError
+from repro.recovery.crash import crash, reincarnate
+from repro.recovery.osiris_full import OsirisFullRecovery
+
+from tests.helpers import line, make_controller, payload
+
+
+def run_workload(controller, writes=60):
+    oracle = {}
+    for index in range(writes):
+        address = line(index * 16)
+        controller.write(address, payload(index % 250))
+        oracle[address] = payload(index % 250)
+    return oracle
+
+
+class TestRoundTrip:
+    def test_recovers_osiris_scheme(self):
+        controller = make_controller(SchemeKind.OSIRIS)
+        oracle = run_workload(controller)
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.root_matched
+        for address, expected in oracle.items():
+            assert reborn.read(address) == expected
+
+    def test_recovers_agit_schemes_too(self):
+        # Full recovery ignores the shadow tables entirely; it must
+        # still reach the same state.
+        controller = make_controller(SchemeKind.AGIT_PLUS)
+        oracle = run_workload(controller)
+        crash(controller)
+        reborn = reincarnate(controller)
+        OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()
+        for address, expected in oracle.items():
+            assert reborn.read(address) == expected
+
+    def test_cannot_recover_write_back(self):
+        # Without stop-loss the memory counter can trail by more than
+        # the trial window — full recovery must fail, not mis-recover.
+        controller = make_controller(SchemeKind.WRITE_BACK)
+        for index in range(10):
+            controller.write(line(0), payload(index))
+        crash(controller)
+        reborn = reincarnate(controller)
+        with pytest.raises(Exception):
+            OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()
+
+
+class TestEquivalenceWithAgit:
+    def test_same_repaired_state_as_agit(self):
+        seed = 9
+        full = make_controller(SchemeKind.AGIT_PLUS, seed=seed)
+        tracked = make_controller(SchemeKind.AGIT_PLUS, seed=seed)
+        for controller in (full, tracked):
+            run_workload(controller, writes=50)
+            crash(controller)
+        reborn_full = reincarnate(full)
+        reborn_tracked = reincarnate(tracked)
+        OsirisFullRecovery(reborn_full.nvm, reborn_full.layout, reborn_full).run()
+        AgitRecovery(
+            reborn_tracked.nvm, reborn_tracked.layout, reborn_tracked
+        ).run()
+        # identical keys + identical traces => identical counter regions
+        region = reborn_full.layout.counter_region
+        for index in range(region.num_blocks):
+            address = region.block_address(index)
+            assert reborn_full.nvm.peek(address) == reborn_tracked.nvm.peek(
+                address
+            )
+
+
+class TestScaling:
+    def test_scans_every_touched_counter_block(self):
+        controller = make_controller(SchemeKind.OSIRIS)
+        # touch 30 distinct pages
+        for index in range(30):
+            controller.write(index * 4096, payload(index))
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.counter_blocks_scanned == 30
+
+    def test_reads_scale_with_memory_not_cache(self):
+        """Contrast with AGIT: full recovery work grows with the data
+        footprint even when the cache (and shadow tables) are tiny."""
+        small = make_controller(SchemeKind.OSIRIS, seed=3)
+        large = make_controller(SchemeKind.OSIRIS, seed=3)
+        for index in range(10):
+            small.write(index * 4096, payload(index))
+        for index in range(40):
+            large.write(index * 4096, payload(index))
+        reports = []
+        for controller in (small, large):
+            crash(controller)
+            reborn = reincarnate(controller)
+            reports.append(
+                OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()
+            )
+        assert reports[1].memory_reads > 2 * reports[0].memory_reads
+
+    def test_full_capacity_estimate_reported(self):
+        controller = make_controller(SchemeKind.OSIRIS)
+        controller.write(0, payload(1))
+        crash(controller)
+        reborn = reincarnate(controller)
+        report = OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()
+        assert report.full_capacity_seconds > 0
+
+
+class TestTamper:
+    def test_tampered_memory_fails_root_check(self):
+        controller = make_controller(SchemeKind.OSIRIS)
+        run_workload(controller, writes=10)
+        controller.writeback_all()
+        crash(controller)
+        counter_address = controller.layout.counter_region.block_address(0)
+        raw = bytearray(controller.nvm.peek(counter_address))
+        raw[0] = (raw[0] + 1) % 128  # plausible but wrong minor
+        controller.nvm.poke(counter_address, bytes(raw))
+        reborn = reincarnate(controller)
+        with pytest.raises(Exception):
+            OsirisFullRecovery(reborn.nvm, reborn.layout, reborn).run()

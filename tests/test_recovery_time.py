@@ -1,0 +1,100 @@
+"""Tests for the analytic recovery-time models (Fig. 5 / Fig. 12)."""
+
+import pytest
+
+from repro.config import GIB, KIB, TIB
+from repro.core.recovery_time import (
+    agit_recovery_time_s,
+    anubis_recovery_time_s,
+    asit_recovery_time_s,
+    average_trials,
+    osiris_recovery_time_s,
+    recovery_speedup,
+)
+
+
+class TestOsirisModel:
+    def test_8tb_matches_paper(self):
+        # Paper: ~7.8 hours (average 28193 s) for 8TB.
+        seconds = osiris_recovery_time_s(8 * TIB)
+        assert 6.5 * 3600 < seconds < 9 * 3600
+
+    def test_linear_in_capacity(self):
+        one = osiris_recovery_time_s(1 * TIB)
+        two = osiris_recovery_time_s(2 * TIB)
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_128gb_point(self):
+        # Fig. 5's smallest point is minutes, not hours.
+        seconds = osiris_recovery_time_s(128 * GIB)
+        assert 60 < seconds < 3600
+
+    def test_stop_loss_increases_trials(self):
+        assert osiris_recovery_time_s(1 * TIB, stop_loss=8) > (
+            osiris_recovery_time_s(1 * TIB, stop_loss=2)
+        )
+
+    def test_average_trials(self):
+        assert average_trials(4) == pytest.approx(2.5)
+        assert average_trials(1) == pytest.approx(1.0)
+
+
+class TestAnubisModels:
+    def test_headline_003s_at_256kb(self):
+        # Abstract: 0.03 s with the Table-1 caches.
+        seconds = agit_recovery_time_s(256 * KIB, 256 * KIB)
+        assert 0.02 < seconds < 0.06
+
+    def test_4mb_below_half_second(self):
+        # §6.3.1: "extremely large cache sizes (4MB) is only ~0.48s".
+        seconds = agit_recovery_time_s(4096 * KIB, 4096 * KIB)
+        assert 0.3 < seconds < 0.6
+
+    def test_linear_in_cache_size(self):
+        small = agit_recovery_time_s(256 * KIB, 256 * KIB)
+        large = agit_recovery_time_s(1024 * KIB, 1024 * KIB)
+        assert large == pytest.approx(4 * small, rel=0.05)
+
+    def test_independent_of_memory_size(self):
+        # The whole point: no capacity parameter exists in the model.
+        assert agit_recovery_time_s(256 * KIB, 256 * KIB) == (
+            agit_recovery_time_s(256 * KIB, 256 * KIB)
+        )
+
+    def test_asit_cheaper_than_agit(self):
+        # Fig. 12: ASIT recovers faster at every size (no 64-counter
+        # iteration per tracked block).
+        for size in (128 * KIB, 1024 * KIB, 4096 * KIB):
+            assert asit_recovery_time_s(2 * size) < agit_recovery_time_s(
+                size, size
+            )
+
+    def test_dispatch_helper(self):
+        assert anubis_recovery_time_s(256 * KIB, 256 * KIB, "agit") == (
+            agit_recovery_time_s(256 * KIB, 256 * KIB)
+        )
+        assert anubis_recovery_time_s(256 * KIB, 256 * KIB, "asit") == (
+            asit_recovery_time_s(512 * KIB)
+        )
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            anubis_recovery_time_s(1, 1, "bogus")
+
+
+class TestSpeedup:
+    def test_headline_speedup_order_of_magnitude(self):
+        # 8 TB / 256KB caches: paper quotes "from 8 hours to 0.03 s",
+        # i.e. a ~10^6 time ratio (the 10^7 figure counts blocks).
+        speedup = recovery_speedup(8 * TIB, 256 * KIB, 256 * KIB)
+        assert 3e5 < speedup < 3e6
+
+    def test_speedup_grows_with_capacity(self):
+        assert recovery_speedup(8 * TIB, 256 * KIB, 256 * KIB) > (
+            recovery_speedup(1 * TIB, 256 * KIB, 256 * KIB)
+        )
+
+    def test_speedup_shrinks_with_cache(self):
+        assert recovery_speedup(8 * TIB, 4096 * KIB, 4096 * KIB) < (
+            recovery_speedup(8 * TIB, 256 * KIB, 256 * KIB)
+        )

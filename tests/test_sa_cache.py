@@ -1,0 +1,202 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.sa_cache import SetAssociativeCache
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+
+
+def make_cache(size_bytes=4096, ways=4) -> SetAssociativeCache:
+    # 4096/64 = 64 blocks, 16 sets x 4 ways
+    return SetAssociativeCache(CacheConfig(size_bytes=size_bytes, ways=ways))
+
+
+class TestBasics:
+    def test_miss_on_empty(self):
+        cache = make_cache()
+        assert cache.lookup(0) is None
+        assert not cache.contains(0)
+
+    def test_insert_then_hit(self):
+        cache = make_cache()
+        cache.insert(0, "payload")
+        assert cache.lookup(0) == "payload"
+
+    def test_insert_returns_slot(self):
+        cache = make_cache()
+        slot, eviction = cache.insert(0, "x")
+        assert eviction is None
+        assert 0 <= slot < cache.num_slots
+
+    def test_misaligned_rejected(self):
+        cache = make_cache()
+        with pytest.raises(ConfigError):
+            cache.insert(3, "x")
+
+    def test_reinsert_replaces_payload_in_place(self):
+        cache = make_cache()
+        slot_a, _ = cache.insert(0, "a")
+        slot_b, eviction = cache.insert(0, "b")
+        assert slot_a == slot_b
+        assert eviction is None
+        assert cache.lookup(0) == "b"
+
+    def test_occupancy(self):
+        cache = make_cache()
+        cache.insert(0, "x")
+        cache.insert(64, "y")
+        assert cache.occupancy == 2
+
+
+class TestFixedSlots:
+    def test_slot_stable_across_hits(self):
+        # §4.1: "the position of the block in the counter cache remains
+        # fixed for its lifetime in the cache".
+        cache = make_cache()
+        slot, _ = cache.insert(0, "x")
+        for other in range(1, 4):
+            cache.insert(other * 64 * cache.num_sets, str(other))
+        cache.lookup(0)
+        assert cache.slot_of(0) == slot
+
+    def test_slot_reused_after_eviction(self):
+        cache = make_cache(size_bytes=64 * 2, ways=1)  # 2 sets x 1 way
+        slot, _ = cache.insert(0, "a")
+        stride = 2 * 64
+        _slot_b, eviction = cache.insert(stride, "b")  # same set, evicts a
+        assert eviction is not None
+        assert eviction.slot == slot
+
+
+class TestLru:
+    def same_set_addresses(self, cache, count):
+        stride = cache.num_sets * 64
+        return [index * stride for index in range(count)]
+
+    def test_lru_victim_selection(self):
+        cache = make_cache(size_bytes=4096, ways=4)
+        addresses = self.same_set_addresses(cache, 5)
+        for address in addresses[:4]:
+            cache.insert(address, address)
+        cache.lookup(addresses[0])  # refresh the oldest
+        _slot, eviction = cache.insert(addresses[4], "new")
+        assert eviction.address == addresses[1]
+
+    def test_invalid_way_preferred_over_lru(self):
+        cache = make_cache(ways=4)
+        addresses = self.same_set_addresses(cache, 4)
+        for address in addresses[:3]:
+            cache.insert(address, address)
+        _slot, eviction = cache.insert(addresses[3], "new")
+        assert eviction is None
+
+    def test_peek_does_not_refresh_lru(self):
+        cache = make_cache(ways=2)
+        addresses = self.same_set_addresses(cache, 3)
+        cache.insert(addresses[0], "a")
+        cache.insert(addresses[1], "b")
+        cache.peek(addresses[0])  # must NOT refresh
+        _slot, eviction = cache.insert(addresses[2], "c")
+        assert eviction.address == addresses[0]
+
+
+class TestDirtyState:
+    def test_mark_dirty_first_time(self):
+        cache = make_cache()
+        cache.insert(0, "x")
+        assert cache.mark_dirty(0) is True
+        assert cache.mark_dirty(0) is False
+        assert cache.is_dirty(0)
+
+    def test_mark_dirty_missing_rejected(self):
+        cache = make_cache()
+        with pytest.raises(ConfigError):
+            cache.mark_dirty(0)
+
+    def test_clean_resets_dirty(self):
+        cache = make_cache()
+        cache.insert(0, "x")
+        cache.mark_dirty(0)
+        cache.clean(0)
+        assert not cache.is_dirty(0)
+        assert cache.mark_dirty(0) is True  # first-dirty fires again
+
+    def test_eviction_carries_dirty_flag(self):
+        cache = make_cache(size_bytes=64, ways=1)
+        cache.insert(0, "a")
+        cache.mark_dirty(0)
+        _slot, eviction = cache.insert(64, "b")
+        assert eviction.dirty
+        assert eviction.payload == "a"
+
+
+class TestInvalidateFlush:
+    def test_invalidate_returns_record(self):
+        cache = make_cache()
+        cache.insert(0, "x")
+        cache.mark_dirty(0)
+        eviction = cache.invalidate(0)
+        assert eviction.dirty
+        assert not cache.contains(0)
+
+    def test_invalidate_missing_returns_none(self):
+        cache = make_cache()
+        assert cache.invalidate(0) is None
+
+    def test_flush_returns_all(self):
+        cache = make_cache()
+        cache.insert(0, "a")
+        cache.insert(64, "b")
+        evictions = cache.flush()
+        assert {eviction.address for eviction in evictions} == {0, 64}
+        assert cache.occupancy == 0
+
+    def test_drop_all_volatile(self):
+        cache = make_cache()
+        cache.insert(0, "a")
+        cache.mark_dirty(0)
+        cache.drop_all_volatile()
+        assert cache.occupancy == 0
+        assert not cache.contains(0)
+
+    def test_resident_iterates_valid(self):
+        cache = make_cache()
+        cache.insert(0, "a")
+        cache.insert(64, "b")
+        cache.mark_dirty(64)
+        resident = {address: dirty for _s, address, _p, dirty in cache.resident()}
+        assert resident == {0: False, 64: True}
+
+
+class TestIndexConsistency:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "lookup", "invalidate", "dirty"]),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=200,
+        )
+    )
+    def test_index_matches_linear_scan_property(self, operations):
+        """The fast index must agree with a brute-force tag scan."""
+        cache = make_cache(size_bytes=1024, ways=2)  # 16 blocks, 8 sets
+        for op, block in operations:
+            address = block * 64
+            if op == "insert":
+                cache.insert(address, block)
+            elif op == "lookup":
+                cache.lookup(address)
+            elif op == "invalidate":
+                cache.invalidate(address)
+            elif op == "dirty" and cache.contains(address):
+                cache.mark_dirty(address)
+            # invariant: index agrees with the line array
+            for slot, line in enumerate(cache._lines):
+                if line.valid:
+                    assert cache._index[line.address] == slot
+            assert len(cache._index) == cache.occupancy

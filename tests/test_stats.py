@@ -1,0 +1,113 @@
+"""Unit tests for the statistics containers."""
+
+import pytest
+
+from repro.util.stats import Counter, Histogram, StatGroup, geometric_mean
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add_default(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add()
+        assert counter.value == 2
+
+    def test_add_amount(self):
+        counter = Counter("x")
+        counter.add(10)
+        assert counter.value == 10
+
+    def test_reset(self):
+        counter = Counter("x", 5)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_mean(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_min_max(self):
+        histogram = Histogram("h")
+        for value in (5.0, -1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.minimum == -1.0
+        assert histogram.maximum == 5.0
+
+    def test_stddev(self):
+        histogram = Histogram("h")
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            histogram.observe(value)
+        assert histogram.stddev == pytest.approx(2.0)
+
+    def test_reset(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.minimum is None
+
+
+class TestStatGroup:
+    def test_counter_identity(self):
+        group = StatGroup("g")
+        assert group.counter("a") is group.counter("a")
+
+    def test_get_without_create(self):
+        group = StatGroup("g")
+        assert group.get("missing") == 0
+        assert group.get("missing", 7) == 7
+
+    def test_counters_sorted(self):
+        group = StatGroup("g")
+        group.counter("b").add(2)
+        group.counter("a").add(1)
+        assert list(group.counters()) == [("a", 1), ("b", 2)]
+
+    def test_as_dict_qualified_names(self):
+        group = StatGroup("nvm")
+        group.counter("reads").add(3)
+        group.histogram("latency").observe(10.0)
+        flat = group.as_dict()
+        assert flat["nvm.reads"] == 3
+        assert flat["nvm.latency.count"] == 1
+        assert flat["nvm.latency.mean"] == 10.0
+
+    def test_merge_into(self):
+        group = StatGroup("g")
+        group.counter("x").add(1)
+        target = {"existing": 9.0}
+        group.merge_into(target)
+        assert target == {"existing": 9.0, "g.x": 1}
+
+    def test_reset_all(self):
+        group = StatGroup("g")
+        group.counter("x").add(1)
+        group.histogram("h").observe(1.0)
+        group.reset()
+        assert group.get("x") == 0
+        assert group.histogram("h").count == 0
+
+
+class TestGeometricMean:
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_single(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,106 @@
+"""Tests for the binary trace file format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.access import MemoryRequest, Op
+from repro.errors import TraceError
+from repro.traces.io import read_trace, roundtrip_bytes, write_trace
+from repro.traces.profiles import profile
+from repro.traces.synthetic import generate_trace
+from repro.traces.trace import Trace
+
+
+def sample_trace() -> Trace:
+    trace = Trace("sample")
+    trace.append(MemoryRequest(op=Op.READ, address=64, gap_ns=12.5))
+    trace.append(
+        MemoryRequest(
+            op=Op.WRITE, address=128, data=bytes(range(64)), gap_ns=0.0
+        )
+    )
+    return trace
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip(self):
+        trace = sample_trace()
+        loaded = read_trace(io.BytesIO(roundtrip_bytes(trace)))
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert original == restored
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.rptr"
+        trace = sample_trace()
+        written = write_trace(trace, path)
+        assert path.stat().st_size == written
+        loaded = read_trace(path)
+        assert list(loaded) == list(trace)
+
+    def test_generated_trace_roundtrip(self):
+        trace = generate_trace(profile("gcc"), length=300, seed=3)
+        loaded = read_trace(io.BytesIO(roundtrip_bytes(trace)))
+        assert list(loaded) == list(trace)
+
+    def test_empty_trace(self):
+        loaded = read_trace(io.BytesIO(roundtrip_bytes(Trace("empty"))))
+        assert loaded.name == "empty"
+        assert len(loaded) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=(1 << 40)),
+                st.floats(
+                    min_value=0.0, max_value=1e6, allow_nan=False
+                ),
+                st.binary(min_size=64, max_size=64),
+            ),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, records):
+        trace = Trace("prop")
+        for is_write, raw_address, gap, data in records:
+            address = raw_address & ~63
+            if is_write:
+                trace.append(
+                    MemoryRequest(
+                        op=Op.WRITE, address=address, data=data, gap_ns=gap
+                    )
+                )
+            else:
+                trace.append(
+                    MemoryRequest(op=Op.READ, address=address, gap_ns=gap)
+                )
+        assert list(read_trace(io.BytesIO(roundtrip_bytes(trace)))) == (
+            list(trace)
+        )
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceError):
+            read_trace(io.BytesIO(b"NOPE" + bytes(20)))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceError):
+            read_trace(io.BytesIO(b"RP"))
+
+    def test_truncated_records(self):
+        blob = roundtrip_bytes(sample_trace())
+        with pytest.raises(TraceError):
+            read_trace(io.BytesIO(blob[:-10]))
+
+    def test_bad_version(self):
+        blob = bytearray(roundtrip_bytes(sample_trace()))
+        blob[4] = 99  # version field
+        with pytest.raises(TraceError):
+            read_trace(io.BytesIO(bytes(blob)))
