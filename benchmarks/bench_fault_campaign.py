@@ -1,0 +1,66 @@
+"""Bench: fault-injection campaign throughput and coverage.
+
+The campaign replays the warm-up trace once and forks every trial from
+snapshots, so a few hundred crash/inject/recover/probe cycles should
+run in seconds.  This bench times one protected campaign and one
+unprotected control, and stores the coverage totals in
+``benchmark.extra_info`` so ``--benchmark-json`` output carries them.
+"""
+
+from repro.config import KIB, MIB, SchemeKind, TreeKind, default_table1_config
+from repro.faults.campaign import CampaignConfig, Outcome, run_campaign
+
+BENCH_TRIALS = 120
+
+
+def _campaign(scheme, tree, trials=BENCH_TRIALS):
+    config = default_table1_config(
+        scheme, tree, capacity_bytes=256 * MIB
+    ).with_cache_size(32 * KIB)
+    return CampaignConfig(system=config, seed=0, trials=trials)
+
+
+def test_fault_campaign_agit(benchmark):
+    """AGIT+ campaign: every trial recovered or detected, none silent."""
+
+    def run():
+        return run_campaign(
+            _campaign(SchemeKind.AGIT_PLUS, TreeKind.BONSAI)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.trials) == BENCH_TRIALS
+    result.require_no_silent_corruption()
+    assert result.classified_fraction == 1.0
+    benchmark.extra_info["outcomes"] = result.outcome_counts()
+    benchmark.extra_info["trials"] = len(result.trials)
+
+
+def test_fault_campaign_asit(benchmark):
+    """ASIT campaign over the SGX tree: same zero-silent bar."""
+
+    def run():
+        return run_campaign(_campaign(SchemeKind.ASIT, TreeKind.SGX))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.require_no_silent_corruption()
+    assert result.classified_fraction == 1.0
+    benchmark.extra_info["outcomes"] = result.outcome_counts()
+
+
+def test_fault_campaign_write_back_control(benchmark):
+    """The unprotected baseline must fail the bar the others meet."""
+
+    def run():
+        return run_campaign(
+            _campaign(SchemeKind.WRITE_BACK, TreeKind.BONSAI)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    silent = result.outcome_counts()[Outcome.SILENT_CORRUPTION.value]
+    assert silent > 0, (
+        "the control scheme recovered everything — the campaign's "
+        "probes would miss real escapes"
+    )
+    benchmark.extra_info["outcomes"] = result.outcome_counts()
+    benchmark.extra_info["silent_trials"] = silent

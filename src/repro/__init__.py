@@ -15,6 +15,8 @@ NVM memory controllers:
   (:mod:`repro.recovery`);
 * SPEC-like synthetic traces and the simulation engine
   (:mod:`repro.traces`, :mod:`repro.sim`);
+* a deterministic fault-injection campaign framework
+  (:mod:`repro.faults`);
 * one experiment module per paper figure (:mod:`repro.experiments`).
 
 Quickstart::
@@ -67,7 +69,15 @@ from repro.errors import (
     RecoveryError,
     ReproError,
     RootMismatchError,
+    SilentCorruptionError,
     UnrecoverableError,
+)
+from repro.faults import (
+    CampaignConfig,
+    CampaignResult,
+    Outcome,
+    default_catalogue,
+    run_campaign,
 )
 from repro.recovery import OsirisFullRecovery, crash, reincarnate
 from repro.recovery.selective import SelectiveRestore
@@ -120,6 +130,7 @@ __all__ = [
     "RootMismatchError",
     "RecoveryError",
     "UnrecoverableError",
+    "SilentCorruptionError",
     # recovery
     "crash",
     "reincarnate",
@@ -129,6 +140,12 @@ __all__ = [
     "OsirisFullRecovery",
     "anubis_recovery_time_s",
     "osiris_recovery_time_s",
+    # fault injection
+    "CampaignConfig",
+    "CampaignResult",
+    "Outcome",
+    "default_catalogue",
+    "run_campaign",
     # simulation
     "SimulationEngine",
     "SimulationResult",

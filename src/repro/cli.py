@@ -8,6 +8,9 @@ Commands:
   the run summary (time, traffic, cache behaviour);
 * ``crash-demo`` — write a workload, inject a power failure, run the
   matching recovery engine, and report the outcome;
+* ``faults`` — run a deterministic fault-injection campaign (crash
+  points × fault catalogue through recovery) and print the coverage
+  matrix; exits nonzero on silent corruption;
 * ``trace`` — generate a workload trace and save it to a ``.rptr``
   file for later replay;
 * ``experiments`` — shorthand for ``python -m repro.experiments``.
@@ -154,6 +157,81 @@ def _command_crash_demo(args: argparse.Namespace) -> int:
     return 0 if bad == 0 else 1
 
 
+def _resolve_faults_system(args: argparse.Namespace):
+    """Scheme/tree resolution with the campaign-friendly aliases.
+
+    ``--scheme anubis`` picks the paper's scheme for the chosen tree
+    (AGIT+ on a Bonsai tree, ASIT on an SGX tree); ``--tree bmt`` is
+    the paper's name for the Bonsai Merkle Tree.
+    """
+    tree_name = args.tree
+    if tree_name == "bmt":
+        tree_name = TreeKind.BONSAI.value
+    scheme_name = args.scheme
+    if scheme_name == "anubis":
+        tree = TreeKind(tree_name) if tree_name else TreeKind.BONSAI
+        scheme = (
+            SchemeKind.ASIT if tree == TreeKind.SGX else SchemeKind.AGIT_PLUS
+        )
+    else:
+        scheme = SchemeKind(scheme_name)
+        if tree_name is not None:
+            tree = TreeKind(tree_name)
+        elif scheme == SchemeKind.ASIT:
+            tree = TreeKind.SGX
+        else:
+            tree = TreeKind.BONSAI
+    config = default_table1_config(
+        scheme, tree, capacity_bytes=args.capacity_gib * GIB
+    ).with_cache_size(args.cache_kib * KIB)
+    return config
+
+
+def _command_faults(args: argparse.Namespace) -> int:
+    from repro.faults import CampaignConfig, run_campaign
+    from repro.faults.report import format_matrix, format_summary
+
+    config = _resolve_faults_system(args)
+    campaign = CampaignConfig(
+        system=config,
+        seed=args.seed,
+        trials=None if args.exhaustive else args.trials,
+        workload=args.workload,
+        trace_length=args.length,
+        num_crash_points=args.crash_points,
+        probe_reads=args.probe_reads,
+        nested_crash_fraction=args.nested_fraction,
+    )
+    result = run_campaign(campaign)
+    print(format_summary(result))
+    print()
+    print(format_matrix(result))
+    silent = result.silent_trials()
+    failed = [
+        t
+        for t in result.trials
+        if t.outcome.value == "RECOVERY_FAILED"
+    ]
+    for trial in (silent + failed)[:10]:
+        print(
+            f"\n{trial.outcome.value}: trial #{trial.index} "
+            f"{trial.fault} at crash point {trial.crash_point}"
+            + (f" (nested crash at write {trial.nested_step})"
+               if trial.nested_step is not None else "")
+        )
+        print(f"  {trial.description}")
+        if trial.detail:
+            print(f"  {trial.detail}")
+    if silent and not args.allow_silent:
+        print(
+            f"\nFAIL: {len(silent)} silent-corruption trial(s) — this "
+            "scheme serves wrong data without raising",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     trace = generate_trace(
         profile(args.workload), args.length, seed=args.seed
@@ -205,6 +283,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.set_defaults(handler=_command_crash_demo)
 
+    faults = commands.add_parser(
+        "faults",
+        help="deterministic fault-injection campaign with coverage matrix",
+    )
+    faults.add_argument(
+        "--scheme",
+        choices=[kind.value for kind in SchemeKind] + ["anubis"],
+        default="anubis",
+        help="persistence scheme; 'anubis' = AGIT+ (bonsai) / ASIT (sgx)",
+    )
+    faults.add_argument(
+        "--tree",
+        choices=[kind.value for kind in TreeKind] + ["bmt"],
+        default=None,
+        help="integrity-tree family; 'bmt' is an alias for bonsai",
+    )
+    faults.add_argument(
+        "--capacity-gib",
+        type=int,
+        default=1,
+        help="memory capacity in GiB (default: 1 — campaigns fork the "
+        "image per trial, smaller is faster)",
+    )
+    faults.add_argument(
+        "--cache-kib",
+        type=int,
+        default=32,
+        help="metadata cache size in KiB (default: 32)",
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--trials", type=int, default=100, help="number of fault trials"
+    )
+    faults.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="ignore --trials and run every crash point x every fault once",
+    )
+    faults.add_argument(
+        "--workload",
+        choices=["hammer"] + profile_names(),
+        default="hammer",
+        help="warmup workload (default: hammer, a rewrite-heavy hot set)",
+    )
+    faults.add_argument("--length", type=int, default=2_000)
+    faults.add_argument(
+        "--crash-points",
+        type=int,
+        default=8,
+        help="crash points sampled from the trace",
+    )
+    faults.add_argument("--probe-reads", type=int, default=8)
+    faults.add_argument(
+        "--nested-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of trials that also crash during recovery",
+    )
+    faults.add_argument(
+        "--allow-silent",
+        action="store_true",
+        help="exit 0 even when silent corruption is found (control runs)",
+    )
+    faults.set_defaults(handler=_command_faults)
+
     trace = commands.add_parser(
         "trace", help="generate a workload trace file"
     )
@@ -217,7 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = commands.add_parser(
         "experiments", help="run the paper-figure harness"
     )
-    experiments.add_argument("experiment_args", nargs="*")
+    # REMAINDER so flags like --json pass through to the harness.
+    experiments.add_argument("experiment_args", nargs=argparse.REMAINDER)
     experiments.set_defaults(handler=_command_experiments)
 
     return parser

@@ -108,6 +108,16 @@ class BonsaiController(SecureMemoryController):
         cipher, sideband, fresh = self.read_data_line(address)
         self._drain_evictions()
         if not fresh:
+            # Architectural zeros are only legal while the line's minor
+            # counter is zero.  A nonzero minor over never-written cells
+            # means the write that bumped it was lost (e.g. a weak ADR
+            # dropped the flush) — real hardware would decrypt the
+            # default cells and fail ECC, so fail closed here too.
+            if minor:
+                raise IntegrityError(
+                    f"counter names a written line at {address:#x} but "
+                    "NVM holds no data for it"
+                )
             return bytes(len(cipher))
         self.channel.hash_latency(1)  # data MAC check
         return self.open_data(address, cipher, sideband, major, minor)

@@ -121,6 +121,15 @@ class SgxController(SecureMemoryController):
         cipher, sideband, fresh = self.read_data_line(address)
         self._drain_evictions()
         if not fresh:
+            # Architectural zeros are only legal while the line's version
+            # counter is zero; a nonzero counter over never-written cells
+            # means the write that bumped it was lost.  Real hardware
+            # would decrypt the default cells and fail ECC — fail closed.
+            if counter:
+                raise IntegrityError(
+                    f"counter names a written line at {address:#x} but "
+                    "NVM holds no data for it"
+                )
             return bytes(len(cipher))
         self.channel.hash_latency(1)
         return self.open_data(address, cipher, sideband, counter, 0)

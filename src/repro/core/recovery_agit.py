@@ -105,6 +105,30 @@ class AgitRecovery:
                     addresses.add(tracked)
         return addresses
 
+    def _validate_tracked(self, addresses: Set[int], table: str) -> None:
+        """Reject shadow-table entries naming impossible blocks.
+
+        A bit flip inside the SCT/SMT can turn a tracked address into
+        one outside the region it must point into.  That is *detected*
+        corruption of the shadow tables, not a recovery crash: raise
+        :class:`UnrecoverableError` instead of letting the repair loop
+        die on a layout lookup.
+        """
+        if table == "SCT":
+            regions = [self.layout.counter_region]
+        else:
+            # The SMT mirrors the Merkle cache, which holds nodes of any
+            # stored level above the counters.
+            regions = self.layout.level_regions[1:]
+        for address in addresses:
+            aligned = address % self.config.memory.block_size == 0
+            if aligned and any(r.contains(address) for r in regions):
+                continue
+            raise UnrecoverableError(
+                f"{table} entry names an invalid block {address:#x} — "
+                "the shadow table is corrupted or tampered with"
+            )
+
     # ------------------------------------------------------------------
     # counter repair (Osiris trials, §2.4)
     # ------------------------------------------------------------------
@@ -196,6 +220,15 @@ class AgitRecovery:
             )
             if self.codec.is_sane(plaintext, opened[:ECC_BYTES]):
                 return candidate
+            # A single soft-error bit flip must not make the whole
+            # system unrecoverable: accept a candidate whose decrypt is
+            # one SECDED-correctable bit away (a wrong counter produces
+            # whole-line garbage, which correction rejects).
+            corrected, _repaired = self.codec.correct_line(
+                plaintext, opened[:ECC_BYTES]
+            )
+            if corrected:
+                return candidate
         return None
 
     # ------------------------------------------------------------------
@@ -242,6 +275,8 @@ class AgitRecovery:
 
         tracked_counters = self._read_shadow_region(self.layout.sct, report)
         tracked_nodes = self._read_shadow_region(self.layout.smt, report)
+        self._validate_tracked(tracked_counters, "SCT")
+        self._validate_tracked(tracked_nodes, "SMT")
         report.tracked_counter_blocks = len(tracked_counters)
         report.tracked_tree_nodes = len(tracked_nodes)
 

@@ -117,6 +117,19 @@ class AsitRecovery:
             if not entry.valid:
                 continue
             report.valid_entries += 1
+            # A valid entry must name a stored tree node.  The root-hash
+            # check already rejects wholesale ST tampering, but fail as
+            # *detected* corruption — not a layout crash — if a bogus
+            # address slips through (defense in depth).
+            aligned = entry.address % self.config.memory.block_size == 0
+            if not aligned or not any(
+                region.contains(entry.address)
+                for region in self.layout.level_regions
+            ):
+                raise UnrecoverableError(
+                    f"ST entry {slot} names an invalid node "
+                    f"{entry.address:#x} — the Shadow Table is corrupted"
+                )
             stale = SgxCounterBlock.from_bytes(self.nvm.peek(entry.address))
             report.memory_reads += 1
             stale.splice_lsbs(list(entry.lsbs), entry.mac, self.lsb_bits)

@@ -61,6 +61,15 @@ class UnrecoverableError(RecoveryError):
     intermediate SGX node without ASIT protection)."""
 
 
+class SilentCorruptionError(ReproError):
+    """A post-crash read returned wrong plaintext *without* raising —
+    the one outcome a secure memory controller must never produce.
+
+    Raised by the fault-injection campaign (:mod:`repro.faults`) when a
+    trial is classified ``SILENT_CORRUPTION`` and the caller asked for
+    that classification to be fatal."""
+
+
 class CrashError(ReproError):
     """Misuse of the crash-injection machinery (e.g. recovering a system
     that never crashed)."""

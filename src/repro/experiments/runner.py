@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     extra_dirty_footprint,
+    extra_fault_coverage,
     fig05_recovery_osiris,
     fig07_clean_evictions,
     fig10_agit_perf,
@@ -155,6 +156,16 @@ def _run_dirty_footprint(full: bool) -> dict:
     }
 
 
+def _run_fault_coverage(full: bool) -> dict:
+    result = extra_fault_coverage.run(trials=240 if full else 60)
+    print("Extra — fault-injection coverage by scheme")
+    print(extra_fault_coverage.format_table(result))
+    return {
+        f"{campaign.scheme.value}/{campaign.tree.value}": campaign.matrix()
+        for campaign in result.results
+    }
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], dict]] = {
     "fig05": _run_fig05,
     "fig07": _run_fig07,
@@ -164,6 +175,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], dict]] = {
     "fig13": _run_fig13,
     "headline": _run_headline,
     "dirty_footprint": _run_dirty_footprint,
+    "fault_coverage": _run_fault_coverage,
 }
 
 

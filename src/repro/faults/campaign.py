@@ -1,0 +1,538 @@
+"""The campaign runner: sweep crash points × faults through recovery.
+
+One warmed-up controller replays the workload *once*.  At each sampled
+crash point the runner forks the persistent domain — an
+:meth:`NvmDevice.snapshot` of the pre-flush image, the WPQ's pending
+entries, and the on-chip registers via
+:func:`~repro.recovery.crash.capture_chip_state` — without disturbing
+the live controller.  Every trial then:
+
+1. restores the trial device to its crash point's pre-flush image;
+2. performs the crash-time ADR flush through a real
+   :class:`~repro.mem.wpq.WritePendingQueue`, optionally weakened
+   (dropped/torn newest entries) by the trial's fault model;
+3. lets the fault model mutate the flushed image out-of-band;
+4. builds the post-reboot controller on the trial device and restores
+   the captured chip state — :func:`~repro.recovery.crash.reincarnate`
+   for a forked domain;
+5. runs the scheme's recovery engine (optionally interrupted after j
+   device writes to model a nested crash, then re-run — recovery must
+   be restartable);
+6. probes reads against the plaintext oracle and classifies.
+
+Outcome taxonomy (:class:`Outcome`):
+
+* ``RECOVERED`` — every probe returned the latest pre-crash plaintext.
+* ``DETECTED_UNRECOVERABLE`` — recovery or a probe read raised an
+  integrity/recovery/ECC error: the system *refused* rather than lied.
+  Stale-but-consistent data does not count as recovered — serving any
+  plaintext other than the newest is precisely the freshness violation
+  Anubis exists to stop.
+* ``RECOVERY_FAILED`` — recovery or a probe died on an exception that
+  is *not* a principled detection (a harness-visible bug).
+* ``SILENT_CORRUPTION`` — a probe returned wrong plaintext with no
+  exception.  The unforgivable outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import BLOCK_SIZE, SchemeKind, SystemConfig, TreeKind
+from repro.controller.factory import build_controller, build_layout
+from repro.core.recovery_agit import AgitRecovery
+from repro.core.recovery_asit import AsitRecovery
+from repro.crypto.keys import ProcessorKeys
+from repro.errors import (
+    EccError,
+    IntegrityError,
+    RecoveryError,
+    SilentCorruptionError,
+)
+from repro.faults.models import (
+    FaultModel,
+    InjectedFault,
+    InjectionContext,
+    default_catalogue,
+)
+from repro.mem.nvm import NvmDevice
+from repro.mem.timing import MemoryChannel
+from repro.mem.wpq import WritePendingQueue
+from repro.recovery.crash import capture_chip_state, restore_chip_state, ChipState
+from repro.recovery.osiris_full import OsirisFullRecovery
+from repro.recovery.selective import SelectiveRestore
+from repro.traces.profiles import KIB, SyntheticProfile, profile
+from repro.traces.synthetic import generate_trace
+from repro.traces.trace import Trace
+from repro.controller.access import Op
+from repro.util.stats import StatGroup
+
+#: Exceptions that count as *principled detection*: the controller or
+#: recovery engine noticed the corruption and refused to proceed.
+DETECTED_ERRORS = (IntegrityError, RecoveryError, EccError)
+
+#: The default campaign workload.  SPEC-like profiles sweep footprints
+#: far larger than a short warmup trace, so lines are almost never
+#: rewritten and a rollback attacker has nothing to replay.  "hammer"
+#: concentrates writes on a small hot set — every fault model gets
+#: material to work with.
+_HAMMER = SyntheticProfile(
+    name="hammer",
+    write_fraction=0.55,
+    pattern="hot_cold",
+    footprint_bytes=256 * KIB,
+    hot_bytes=64 * KIB,
+    hot_fraction=0.8,
+    rewrite_count=2,
+    gap_mean_ns=150.0,
+    description="fault-campaign workload: small hot set, heavy rewrites",
+)
+
+
+def campaign_profile(name: str) -> SyntheticProfile:
+    """Resolve a workload name: "hammer" or any SPEC-like profile."""
+    if name == _HAMMER.name:
+        return _HAMMER
+    return profile(name)
+
+
+class Outcome(Enum):
+    """Classification of one fault-injection trial."""
+
+    RECOVERED = "RECOVERED"
+    DETECTED_UNRECOVERABLE = "DETECTED_UNRECOVERABLE"
+    RECOVERY_FAILED = "RECOVERY_FAILED"
+    SILENT_CORRUPTION = "SILENT_CORRUPTION"
+
+
+class _RecoveryPowerFailure(Exception):
+    """Injected nested crash — deliberately *not* a ReproError, so it is
+    never mistaken for a principled detection."""
+
+
+class _InterruptingNvm:
+    """Proxy failing the Nth device write (nested crash mid-recovery)."""
+
+    def __init__(self, nvm: NvmDevice, fail_after: int) -> None:
+        self._nvm = nvm
+        self._remaining = fail_after
+
+    def write(self, address: int, data: bytes) -> None:
+        if self._remaining <= 0:
+            raise _RecoveryPowerFailure()
+        self._remaining -= 1
+        self._nvm.write(address, data)
+
+    def __getattr__(self, name):
+        return getattr(self._nvm, name)
+
+
+@dataclass
+class TrialResult:
+    """One classified trial."""
+
+    index: int
+    fault: str
+    description: str
+    crash_point: int
+    outcome: Outcome
+    nested_step: Optional[int] = None
+    #: Where the corruption surfaced: "recovery" or "read" for detected
+    #: trials, None otherwise.
+    detected_at: Optional[str] = None
+    detail: str = ""
+    probed: int = 0
+    degenerate: bool = False
+
+
+@dataclass
+class CampaignConfig:
+    """Everything one campaign needs; fully determined by ``seed``."""
+
+    system: SystemConfig
+    seed: int = 0
+    #: Number of trials; ``None`` runs the exhaustive grid instead —
+    #: every crash point × every catalogue model exactly once.
+    trials: Optional[int] = 100
+    workload: str = "hammer"
+    trace_length: int = 2000
+    #: Crash points (requests completed before the power fails); when
+    #: None, ``num_crash_points`` are sampled from the trace.
+    crash_points: Optional[Sequence[int]] = None
+    num_crash_points: int = 8
+    #: Extra randomly probed oracle lines per trial (on top of the
+    #: fault's own affected lines, which are always probed).
+    probe_reads: int = 8
+    #: Fraction of trials that also crash *during* recovery.
+    nested_crash_fraction: float = 0.25
+    catalogue: Optional[List[FaultModel]] = None
+
+
+@dataclass
+class CampaignResult:
+    """All trials of one campaign plus the derived summaries."""
+
+    scheme: SchemeKind
+    tree: TreeKind
+    seed: int
+    workload: str
+    trace_length: int
+    crash_points: List[int]
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts = {outcome.value: 0 for outcome in Outcome}
+        for trial in self.trials:
+            counts[trial.outcome.value] += 1
+        return counts
+
+    def matrix(self) -> Dict[str, Dict[str, int]]:
+        """fault model -> outcome -> count (the coverage matrix)."""
+        table: Dict[str, Dict[str, int]] = {}
+        for trial in self.trials:
+            row = table.setdefault(
+                trial.fault, {outcome.value: 0 for outcome in Outcome}
+            )
+            row[trial.outcome.value] += 1
+        return table
+
+    def silent_trials(self) -> List[TrialResult]:
+        return [
+            t for t in self.trials if t.outcome is Outcome.SILENT_CORRUPTION
+        ]
+
+    @property
+    def classified_fraction(self) -> float:
+        """Fraction of trials ending RECOVERED or DETECTED_UNRECOVERABLE."""
+        if not self.trials:
+            return 1.0
+        good = sum(
+            1
+            for t in self.trials
+            if t.outcome in (Outcome.RECOVERED, Outcome.DETECTED_UNRECOVERABLE)
+        )
+        return good / len(self.trials)
+
+    def require_no_silent_corruption(self) -> None:
+        """Raise :class:`SilentCorruptionError` if any trial lied."""
+        silent = self.silent_trials()
+        if silent:
+            worst = ", ".join(
+                f"#{t.index} {t.fault}@{t.crash_point}" for t in silent[:5]
+            )
+            raise SilentCorruptionError(
+                f"{len(silent)} trial(s) returned wrong plaintext without "
+                f"raising ({worst}) — scheme {self.scheme.value} silently "
+                "corrupts"
+            )
+
+
+@dataclass
+class _CrashImage:
+    """The forked persistent domain at one crash point."""
+
+    preflush: NvmDevice
+    pending: List[Tuple[int, bytes, Optional[bytes]]]
+    chip: ChipState
+    oracle: Dict[int, bytes]
+
+
+def _recovery_engine(config: SystemConfig, reborn, nvm):
+    """The recovery path a real system of this scheme would run."""
+    scheme, tree = config.scheme, config.tree
+    if scheme in (SchemeKind.AGIT_READ, SchemeKind.AGIT_PLUS):
+        return AgitRecovery(nvm, reborn.layout, reborn)
+    if scheme is SchemeKind.ASIT:
+        return AsitRecovery(nvm, reborn.layout, reborn)
+    if tree is TreeKind.BONSAI and scheme is SchemeKind.OSIRIS:
+        return OsirisFullRecovery(nvm, reborn.layout, reborn)
+    if tree is TreeKind.BONSAI and scheme in (
+        SchemeKind.WRITE_BACK,
+        SchemeKind.SELECTIVE,
+    ):
+        # No root to verify against: rebuild from memory and *adopt* —
+        # the restore path whose replay vulnerability the campaign's
+        # control runs demonstrate.
+        return SelectiveRestore(nvm, reborn.layout, reborn)
+    # Strict persistence (memory is always consistent) and write-back /
+    # Osiris on SGX trees (nothing to rebuild from): boot and read.
+    return None
+
+
+def _probe_targets(
+    rng: random.Random,
+    fault: InjectedFault,
+    flush_casualties: Sequence[int],
+    oracle: Dict[int, bytes],
+    layout,
+    probe_reads: int,
+) -> List[int]:
+    """The data lines to read back after recovery."""
+    targets = [a for a in fault.affected_lines if a in oracle]
+    for address in flush_casualties:
+        if layout.data.contains(address):
+            if address in oracle:
+                targets.append(address)
+        elif layout.counter_region.contains(address):
+            # Probe a few lines covered by a lost counter block.
+            index = layout.counter_region.block_index(address)
+            first = index * layout.lines_per_counter_block
+            for offset in range(layout.lines_per_counter_block):
+                line = (first + offset) * BLOCK_SIZE
+                if line in oracle:
+                    targets.append(line)
+                if len(targets) >= probe_reads + 8:
+                    break
+    if oracle and probe_reads:
+        population = sorted(oracle)
+        targets.extend(
+            rng.sample(population, min(probe_reads, len(population)))
+        )
+    seen = set()
+    ordered = []
+    for address in targets:
+        if address not in seen:
+            seen.add(address)
+            ordered.append(address)
+    return ordered
+
+
+def run_campaign(campaign: CampaignConfig) -> CampaignResult:
+    """Run one deterministic fault-injection campaign."""
+    config = campaign.system
+    rng = random.Random(campaign.seed)
+    keys = ProcessorKeys(campaign.seed)
+    layout = build_layout(config)
+
+    trace = generate_trace(
+        campaign_profile(campaign.workload),
+        campaign.trace_length,
+        seed=campaign.seed,
+        capacity_bytes=config.memory.capacity_bytes,
+    )
+    requests = list(trace)
+
+    if campaign.crash_points is not None:
+        points = sorted(
+            {k for k in campaign.crash_points if 1 <= k <= len(requests)}
+        )
+    else:
+        count = min(campaign.num_crash_points, len(requests))
+        points = sorted(rng.sample(range(1, len(requests) + 1), count))
+    if not points:
+        raise ValueError("campaign needs at least one crash point")
+
+    # The rollback fault replays material recorded at an earlier
+    # consistent point — an orderly writeback a quarter into the trace
+    # (never after the first crash point).
+    record_at = min(len(requests) // 4, points[0])
+
+    controller = build_controller(config, keys=keys, layout=layout)
+    oracle: Dict[int, bytes] = {}
+    images: Dict[int, _CrashImage] = {}
+    record_nvm: Optional[NvmDevice] = None
+    record_oracle: Optional[Dict[int, bytes]] = None
+    mark = set(points)
+
+    def take_record() -> None:
+        nonlocal record_nvm, record_oracle
+        controller.writeback_all()
+        controller.wpq.drain_all()
+        record_nvm = controller.nvm.snapshot()
+        record_oracle = dict(oracle)
+
+    done = 0
+    for request in requests:
+        if done == record_at and record_nvm is None:
+            take_record()
+        if done in mark:
+            images[done] = _CrashImage(
+                preflush=controller.nvm.snapshot(),
+                pending=controller.wpq.pending_entries(),
+                chip=capture_chip_state(controller),
+                oracle=dict(oracle),
+            )
+        if request.op == Op.WRITE:
+            controller.access(request)
+            oracle[request.address] = request.data
+        else:
+            controller.access(request)
+        done += 1
+    if done == record_at and record_nvm is None:
+        take_record()
+    if done in mark:
+        images[done] = _CrashImage(
+            preflush=controller.nvm.snapshot(),
+            pending=controller.wpq.pending_entries(),
+            chip=capture_chip_state(controller),
+            oracle=dict(oracle),
+        )
+
+    catalogue = campaign.catalogue
+    if catalogue is None:
+        catalogue = default_catalogue(config)
+    if not catalogue:
+        raise ValueError("campaign needs at least one fault model")
+
+    # Trial plan: exhaustive grid when trials is None, otherwise
+    # round-robin over the catalogue (every model exercised) with
+    # rng-sampled crash points and nested-crash schedule.
+    plan: List[Tuple[int, FaultModel, Optional[int]]] = []
+    if campaign.trials is None:
+        for point in points:
+            for model in catalogue:
+                plan.append((point, model, None))
+    else:
+        for index in range(campaign.trials):
+            model = catalogue[index % len(catalogue)]
+            point = points[rng.randrange(len(points))]
+            nested: Optional[int] = None
+            if rng.random() < campaign.nested_crash_fraction:
+                nested = rng.randrange(1, 8)
+            plan.append((point, model, nested))
+
+    result = CampaignResult(
+        scheme=config.scheme,
+        tree=config.tree,
+        seed=campaign.seed,
+        workload=campaign.workload,
+        trace_length=campaign.trace_length,
+        crash_points=points,
+    )
+
+    trial_nvm = NvmDevice(layout.total_size)
+    for index, (point, model, nested) in enumerate(plan):
+        result.trials.append(
+            _run_trial(
+                index=index,
+                config=config,
+                layout=layout,
+                keys=keys,
+                image=images[point],
+                model=model,
+                nested=nested,
+                rng=rng,
+                trial_nvm=trial_nvm,
+                record_nvm=record_nvm,
+                record_oracle=record_oracle,
+                probe_reads=campaign.probe_reads,
+                crash_point=point,
+            )
+        )
+    return result
+
+
+def _run_trial(
+    index: int,
+    config: SystemConfig,
+    layout,
+    keys: ProcessorKeys,
+    image: _CrashImage,
+    model: FaultModel,
+    nested: Optional[int],
+    rng: random.Random,
+    trial_nvm: NvmDevice,
+    record_nvm: Optional[NvmDevice],
+    record_oracle: Optional[Dict[int, bytes]],
+    probe_reads: int,
+    crash_point: int,
+) -> TrialResult:
+    """Execute and classify one trial (steps 1-6 of the module doc)."""
+    trial_nvm.restore(image.preflush)
+    drop, tear = model.plan_flush(rng, image.pending)
+    wpq = WritePendingQueue(
+        trial_nvm,
+        MemoryChannel(config.timing, StatGroup("trial")),
+        entries=len(image.pending) + 1,
+    )
+    for address, data, ecc in image.pending:
+        wpq.insert(address, data, ecc)
+    flush = wpq.adr_flush(drop_newest=drop, tear_newest=tear)
+
+    ctx = InjectionContext(
+        config=config,
+        layout=layout,
+        nvm=trial_nvm,
+        oracle=image.oracle,
+        record_nvm=record_nvm,
+        record_oracle=record_oracle,
+    )
+    fault = model.inject(rng, ctx)
+
+    reborn = build_controller(config, keys=keys, nvm=trial_nvm, layout=layout)
+    restore_chip_state(reborn, image.chip)
+
+    trial = TrialResult(
+        index=index,
+        fault=model.name,
+        description=fault.description,
+        crash_point=crash_point,
+        outcome=Outcome.RECOVERED,
+        nested_step=nested,
+        degenerate=fault.degenerate,
+    )
+
+    engine = _recovery_engine(config, reborn, trial_nvm)
+    try:
+        if engine is not None:
+            if nested is not None:
+                interrupted = _recovery_engine(
+                    config, reborn, _InterruptingNvm(trial_nvm, nested)
+                )
+                try:
+                    interrupted.run()
+                except _RecoveryPowerFailure:
+                    # Second boot: the chip registers persist, recovery
+                    # restarts from scratch on the intact device.
+                    _recovery_engine(config, reborn, trial_nvm).run()
+            else:
+                engine.run()
+    except DETECTED_ERRORS as exc:
+        trial.outcome = Outcome.DETECTED_UNRECOVERABLE
+        trial.detected_at = "recovery"
+        trial.detail = f"{type(exc).__name__}: {exc}"
+        return trial
+    except Exception as exc:  # noqa: BLE001 — classification, not flow
+        trial.outcome = Outcome.RECOVERY_FAILED
+        trial.detail = f"{type(exc).__name__}: {exc}"
+        return trial
+
+    probes = _probe_targets(
+        rng,
+        fault,
+        list(flush.dropped) + list(flush.torn),
+        image.oracle,
+        layout,
+        probe_reads,
+    )
+    trial.probed = len(probes)
+    mismatched: List[int] = []
+    detected_reads = 0
+    for address in probes:
+        try:
+            value = reborn.read(address)
+        except DETECTED_ERRORS as exc:
+            detected_reads += 1
+            trial.detail = f"{type(exc).__name__}: {exc}"
+            continue
+        except Exception as exc:  # noqa: BLE001
+            trial.outcome = Outcome.RECOVERY_FAILED
+            trial.detail = f"probe {address:#x} -> {type(exc).__name__}: {exc}"
+            return trial
+        if value != image.oracle[address]:
+            mismatched.append(address)
+    if mismatched:
+        trial.outcome = Outcome.SILENT_CORRUPTION
+        trial.detail = (
+            f"{len(mismatched)} probe(s) returned wrong plaintext, e.g. "
+            f"{mismatched[0]:#x}"
+        )
+    elif detected_reads:
+        trial.outcome = Outcome.DETECTED_UNRECOVERABLE
+        trial.detected_at = "read"
+    else:
+        trial.outcome = Outcome.RECOVERED
+    return trial

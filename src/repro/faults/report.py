@@ -1,0 +1,102 @@
+"""Coverage matrices and human-readable campaign summaries.
+
+The campaign's deliverable is the per-scheme × per-fault matrix: which
+faults a scheme *recovers from*, which it *detects and refuses*, and —
+for the unprotected baselines — which it silently serves wrong data
+for.  ``repro faults`` prints these tables; the fault-coverage
+experiment collects them across schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.faults.campaign import CampaignResult, Outcome
+
+#: Column order for every matrix rendering.
+OUTCOME_COLUMNS = [outcome.value for outcome in Outcome]
+
+#: Compact column headers for terminal tables.
+_SHORT = {
+    "RECOVERED": "recovered",
+    "DETECTED_UNRECOVERABLE": "detected",
+    "RECOVERY_FAILED": "rec-failed",
+    "SILENT_CORRUPTION": "SILENT!",
+}
+
+
+def coverage_matrix(result: CampaignResult) -> Dict[str, Dict[str, int]]:
+    """fault model -> outcome -> count, in stable (sorted) row order."""
+    matrix = result.matrix()
+    return {fault: matrix[fault] for fault in sorted(matrix)}
+
+
+def format_matrix(result: CampaignResult) -> str:
+    """One campaign's coverage matrix as a markdown table."""
+    matrix = coverage_matrix(result)
+    header = ["fault model"] + [_SHORT[c] for c in OUTCOME_COLUMNS]
+    rows: List[List[str]] = []
+    for fault, counts in matrix.items():
+        rows.append([fault] + [str(counts[c]) for c in OUTCOME_COLUMNS])
+    totals = result.outcome_counts()
+    rows.append(
+        ["**total**"] + [f"**{totals[c]}**" for c in OUTCOME_COLUMNS]
+    )
+    widths = [
+        max(len(row[i]) for row in [header] + rows)
+        for i in range(len(header))
+    ]
+    lines = [
+        "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)) + " |",
+        "|" + "|".join("-" * (width + 2) for width in widths) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + " |"
+        )
+    return "\n".join(lines)
+
+
+def format_summary(result: CampaignResult) -> str:
+    """The headline lines printed after a ``repro faults`` run."""
+    totals = result.outcome_counts()
+    total = len(result.trials)
+    silent = totals[Outcome.SILENT_CORRUPTION.value]
+    lines = [
+        f"scheme={result.scheme.value} tree={result.tree.value} "
+        f"workload={result.workload} seed={result.seed}",
+        f"trials={total} over {len(result.crash_points)} crash points "
+        f"(trace of {result.trace_length} requests)",
+        f"classified RECOVERED/DETECTED: {result.classified_fraction:.1%}",
+        f"silent corruption: {silent}",
+    ]
+    return "\n".join(lines)
+
+
+def format_comparison(results: Iterable[CampaignResult]) -> str:
+    """Cross-scheme summary table (one row per campaign)."""
+    header = ["scheme", "tree", "trials"] + [_SHORT[c] for c in OUTCOME_COLUMNS]
+    rows = []
+    for result in results:
+        totals = result.outcome_counts()
+        rows.append(
+            [
+                result.scheme.value,
+                result.tree.value,
+                str(len(result.trials)),
+            ]
+            + [str(totals[c]) for c in OUTCOME_COLUMNS]
+        )
+    widths = [
+        max(len(row[i]) for row in [header] + rows)
+        for i in range(len(header))
+    ]
+    lines = [
+        "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)) + " |",
+        "|" + "|".join("-" * (width + 2) for width in widths) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + " |"
+        )
+    return "\n".join(lines)

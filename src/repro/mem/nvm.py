@@ -14,7 +14,7 @@ injection (``repro.recovery.crash``) simply discards all volatile state
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.config import BLOCK_SIZE
 from repro.errors import AlignmentError, LayoutError
@@ -118,20 +118,56 @@ class NvmDevice:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes")
         self._blocks[address] = bytes(data)
 
-    def inject_bit_flip(self, address: int, bit: int) -> None:
+    def inject_bit_flip(self, address: int, bit: int) -> int:
         """Flip one stored bit — a radiation/wear soft error.
 
         Unlike :meth:`poke` (an attacker writing chosen content), this
         models the fault ECC exists for: reads of the block will see
         one flipped ciphertext bit, which CTR decryption turns into one
         flipped plaintext bit that the SECDED path repairs.
+
+        Returns the *pre-flip* bit value (0 or 1), so callers that need
+        to undo the fault can reapply the same flip — no need to read
+        the block out-of-band first.
         """
         self._check(address)
         if not 0 <= bit < BLOCK_SIZE * 8:
             raise LayoutError(f"bit {bit} outside a {BLOCK_SIZE}B block")
         block = bytearray(self._blocks.get(address, self._default(address)))
+        previous = (block[bit // 8] >> (bit % 8)) & 1
         block[bit // 8] ^= 1 << (bit % 8)
         self._blocks[address] = bytes(block)
+        return previous
+
+    def inject_bit_flips(self, address: int, bits: Iterable[int]) -> List[int]:
+        """Flip several bits of one block (a multi-bit upset).
+
+        Returns the pre-flip value of each bit, in ``bits`` order.
+        Flipping the same bit twice restores it — the list reports what
+        each individual flip observed.
+        """
+        return [self.inject_bit_flip(address, bit) for bit in bits]
+
+    def inject_stuck_at(self, address: int, bit: int, value: int) -> bool:
+        """Force one stored bit to ``value`` — a worn-out stuck-at cell.
+
+        Unlike a flip this is idempotent: the cell reads as ``value``
+        no matter what was (or is later) stored.  The simulator applies
+        it once to the current content; campaign trials re-apply it
+        after every restore.  Returns True if the bit actually changed.
+        """
+        self._check(address)
+        if not 0 <= bit < BLOCK_SIZE * 8:
+            raise LayoutError(f"bit {bit} outside a {BLOCK_SIZE}B block")
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {value}")
+        block = bytearray(self._blocks.get(address, self._default(address)))
+        previous = (block[bit // 8] >> (bit % 8)) & 1
+        if previous == value:
+            return False
+        block[bit // 8] ^= 1 << (bit % 8)
+        self._blocks[address] = bytes(block)
+        return True
 
     def is_written(self, address: int) -> bool:
         """True if the block has ever been written."""
@@ -172,13 +208,41 @@ class NvmDevice:
         return self._writes.value
 
     def snapshot(self) -> "NvmDevice":
-        """Deep copy of the device (used to fork pre/post-crash images)."""
+        """Deep copy of the device (used to fork pre/post-crash images).
+
+        Cheap: block payloads are immutable ``bytes``, so the copy is a
+        dict copy sharing the payloads.  Stats counters are carried over
+        so endurance accounting survives the fork.
+        """
         clone = NvmDevice(self.size)
         clone._blocks = dict(self._blocks)
         clone._ecc = dict(self._ecc)
         clone._write_counts = dict(self._write_counts)
+        clone._reads.value = self._reads.value
+        clone._writes.value = self._writes.value
         clone.default_provider = self.default_provider
         return clone
+
+    def restore(self, snapshot: "NvmDevice") -> None:
+        """Reset this device to a snapshot's state, in place.
+
+        The inverse of :meth:`snapshot`: blocks, sideband, per-block
+        write counts, and lifetime counters all revert.  The campaign
+        runner uses one warmed-up snapshot per crash point and restores
+        a single trial device before every fault injection instead of
+        re-replaying the trace.
+        """
+        if snapshot.size != self.size:
+            raise LayoutError(
+                f"cannot restore a {snapshot.size}-byte snapshot into a "
+                f"{self.size}-byte device"
+            )
+        self._blocks = dict(snapshot._blocks)
+        self._ecc = dict(snapshot._ecc)
+        self._write_counts = dict(snapshot._write_counts)
+        self._reads.value = snapshot._reads.value
+        self._writes.value = snapshot._writes.value
+        self.default_provider = snapshot.default_provider
 
     def __repr__(self) -> str:
         return (

@@ -17,8 +17,10 @@ reached the persistent domain) — never a torn mix.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.config import BLOCK_SIZE
 from repro.errors import WpqError
 from repro.mem.nvm import NvmDevice
 from repro.mem.timing import MemoryChannel
@@ -26,6 +28,27 @@ from repro.util.stats import StatGroup
 
 #: A pending write: (data bytes, optional sideband ECC bytes).
 _Entry = Tuple[bytes, Optional[bytes]]
+
+
+@dataclass
+class AdrFlushRecord:
+    """What an ADR flush actually did, entry by entry.
+
+    Under the normal (strong-ADR) model every pending entry lands in NVM
+    and ``dropped``/``torn`` stay empty.  Weak-ADR fault injection can
+    drop the newest entries entirely or tear them (half-written block,
+    sideband lost) — the addresses affected are recorded so a fault
+    campaign knows which lines to probe after recovery.
+    """
+
+    flushed: List[int] = field(default_factory=list)
+    dropped: List[int] = field(default_factory=list)
+    torn: List[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Entries that reached NVM intact (legacy flush count)."""
+        return len(self.flushed)
 
 
 class WritePendingQueue:
@@ -112,17 +135,54 @@ class WritePendingQueue:
             drained += 1
         return drained
 
-    def adr_flush(self) -> int:
+    def pending_entries(self) -> List[Tuple[int, bytes, Optional[bytes]]]:
+        """FIFO snapshot of pending writes: ``(address, data, sideband)``.
+
+        Used to fork the persistent domain at a crash point: a campaign
+        captures the queue alongside an NVM snapshot, then replays the
+        entries into a trial device under a (possibly weakened) ADR
+        flush without disturbing the live controller.
+        """
+        return [
+            (address, data, ecc)
+            for address, (data, ecc) in self._pending.items()
+        ]
+
+    def adr_flush(self, drop_newest: int = 0, tear_newest: int = 0) -> AdrFlushRecord:
         """Crash-time ADR flush: dump all entries to NVM with *no* timing
-        cost (the platform's residual energy pays for it)."""
-        flushed = 0
+        cost (the platform's residual energy pays for it).
+
+        ``drop_newest``/``tear_newest`` model a *weak* ADR whose residual
+        energy runs out early (a documented NVDIMM failure mode).  The
+        newest ``drop_newest`` entries never reach NVM at all; the next
+        newest ``tear_newest`` entries are torn — the first half of the
+        block is written, the second half keeps its old content, and the
+        sideband write is lost.  Entries are still drained oldest-first,
+        so the casualties are exactly the writes most recently accepted
+        into the queue.
+        """
+        record = AdrFlushRecord()
+        pending = len(self._pending)
+        drop_newest = min(max(drop_newest, 0), pending)
+        tear_newest = min(max(tear_newest, 0), pending - drop_newest)
+        intact = pending - drop_newest - tear_newest
+        position = 0
         while self._pending:
             address, (data, ecc) = self._pending.popitem(last=False)
-            self.nvm.write(address, data)
-            if ecc is not None:
-                self.nvm.write_ecc(address, ecc)
-            flushed += 1
-        return flushed
+            if position < intact:
+                self.nvm.write(address, data)
+                if ecc is not None:
+                    self.nvm.write_ecc(address, ecc)
+                record.flushed.append(address)
+            elif position < intact + tear_newest:
+                half = BLOCK_SIZE // 2
+                old = self.nvm.peek(address)
+                self.nvm.write(address, data[:half] + old[half:])
+                record.torn.append(address)
+            else:
+                record.dropped.append(address)
+            position += 1
+        return record
 
 
 class PersistentRegisters:

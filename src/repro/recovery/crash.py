@@ -19,21 +19,98 @@ memory controller whose first job is recovery.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
-from repro.config import SystemConfig
+from repro.config import SystemConfig, TreeKind
 from repro.controller.base import SecureMemoryController
 from repro.controller.bonsai import BonsaiController
 from repro.controller.factory import build_controller
 from repro.controller.sgx import SgxController
 from repro.errors import CrashError
+from repro.mem.wpq import AdrFlushRecord
 
 
-def crash(controller: SecureMemoryController) -> None:
-    """Inject a power failure into a running controller (in place)."""
+def crash(
+    controller: SecureMemoryController,
+    drop_newest: int = 0,
+    tear_newest: int = 0,
+) -> AdrFlushRecord:
+    """Inject a power failure into a running controller (in place).
+
+    ``drop_newest``/``tear_newest`` forward to
+    :meth:`~repro.mem.wpq.WritePendingQueue.adr_flush` and model a weak
+    ADR that loses or tears the newest pending writes; the returned
+    record says which addresses were affected.
+    """
     controller.pregs.crash_replay()
-    controller.wpq.adr_flush()
+    record = controller.wpq.adr_flush(
+        drop_newest=drop_newest, tear_newest=tear_newest
+    )
     controller.drop_volatile()
+    return record
+
+
+@dataclass
+class ChipState:
+    """The on-chip persistent registers that survive a power failure.
+
+    Exactly the state :func:`_transfer_roots` moves across a reboot,
+    captured as a standalone value so a fault campaign can fork many
+    trial reboots from one live controller without crashing it.
+    """
+
+    tree: TreeKind
+    #: Bonsai on-chip root node (a copy), or None for SGX trees.
+    root_node: Any = None
+    #: SGX on-chip root nonce block (a copy), or None for Bonsai trees.
+    root_block: Any = None
+    #: ASIT's SHADOW_TREE_ROOT register, when the controller has one.
+    shadow_root: Optional[int] = None
+
+
+def capture_chip_state(controller: SecureMemoryController) -> ChipState:
+    """Copy the on-chip persistent registers out of a controller.
+
+    Safe to call on a *live* controller: the roots are copied, so the
+    captured state does not alias structures the controller keeps
+    mutating.
+    """
+    if isinstance(controller, BonsaiController):
+        return ChipState(
+            tree=TreeKind.BONSAI,
+            root_node=controller.engine.root_node.copy(),
+        )
+    if isinstance(controller, SgxController):
+        return ChipState(
+            tree=TreeKind.SGX,
+            root_block=controller.engine.root_block.copy(),
+            shadow_root=getattr(controller, "shadow_tree_root", None),
+        )
+    raise CrashError(
+        f"cannot capture chip state of {type(controller).__name__}"
+    )
+
+
+def restore_chip_state(
+    controller: SecureMemoryController, state: ChipState
+) -> None:
+    """Install captured persistent registers into a (reborn) controller."""
+    if state.tree is TreeKind.BONSAI and isinstance(controller, BonsaiController):
+        controller.engine.root_node = state.root_node.copy()
+        return
+    if state.tree is TreeKind.SGX and isinstance(controller, SgxController):
+        controller.engine.root_block = state.root_block.copy()
+        if state.shadow_root is not None:
+            # SHADOW_TREE_ROOT rides across the reboot in its register;
+            # the ASIT recovery engine clears this once the Shadow Table
+            # has been consumed and reset.
+            controller._persistent_shadow_root = state.shadow_root
+        return
+    raise CrashError(
+        f"cannot restore {state.tree.name} chip state into "
+        f"{type(controller).__name__} (tree kinds differ)"
+    )
 
 
 def reincarnate(
@@ -64,19 +141,4 @@ def _transfer_roots(
     old: SecureMemoryController, new: SecureMemoryController
 ) -> None:
     """Copy the on-chip persistent registers across the reboot."""
-    if isinstance(old, BonsaiController) and isinstance(new, BonsaiController):
-        new.engine.root_node = old.engine.root_node.copy()
-        return
-    if isinstance(old, SgxController) and isinstance(new, SgxController):
-        new.engine.root_block = old.engine.root_block.copy()
-        shadow_root = getattr(old, "shadow_tree_root", None)
-        if shadow_root is not None:
-            # SHADOW_TREE_ROOT rides across the reboot in its register;
-            # the ASIT recovery engine clears this once the Shadow Table
-            # has been consumed and reset.
-            new._persistent_shadow_root = shadow_root
-        return
-    raise CrashError(
-        f"cannot transfer roots between {type(old).__name__} and "
-        f"{type(new).__name__} (tree kinds differ)"
-    )
+    restore_chip_state(new, capture_chip_state(old))

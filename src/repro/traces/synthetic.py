@@ -9,6 +9,7 @@ counts.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Optional
 
 from repro.config import BLOCK_SIZE
@@ -74,7 +75,9 @@ def generate_trace(
     """
     if length <= 0:
         raise ConfigError("trace length must be positive")
-    rng = random.Random((hash(profile.name) & 0xFFFFFFFF) ^ seed)
+    # crc32, not hash(): str hashing is randomized per process, and the
+    # same (profile, seed) must yield the same trace across invocations.
+    rng = random.Random(zlib.crc32(profile.name.encode("utf-8")) ^ seed)
     source = _AddressSource(profile, rng, region_base)
     trace = Trace(name=profile.name)
 

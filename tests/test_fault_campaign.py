@@ -1,0 +1,189 @@
+"""End-to-end tests for the fault-injection campaign runner."""
+
+import pytest
+
+from repro.config import SchemeKind, TreeKind
+from repro.errors import SilentCorruptionError
+from repro.faults.campaign import (
+    CampaignConfig,
+    Outcome,
+    run_campaign,
+)
+from repro.faults.models import CleanCrashFault, DroppedFlushFault, RollbackFault
+from repro.faults.report import coverage_matrix, format_matrix, format_summary
+
+from tests.helpers import small_config
+
+#: Every (scheme, tree) pair the factory accepts.
+ALL_SYSTEMS = [
+    (SchemeKind.WRITE_BACK, TreeKind.BONSAI),
+    (SchemeKind.STRICT_PERSISTENCE, TreeKind.BONSAI),
+    (SchemeKind.OSIRIS, TreeKind.BONSAI),
+    (SchemeKind.SELECTIVE, TreeKind.BONSAI),
+    (SchemeKind.AGIT_READ, TreeKind.BONSAI),
+    (SchemeKind.AGIT_PLUS, TreeKind.BONSAI),
+    (SchemeKind.WRITE_BACK, TreeKind.SGX),
+    (SchemeKind.STRICT_PERSISTENCE, TreeKind.SGX),
+    (SchemeKind.OSIRIS, TreeKind.SGX),
+    (SchemeKind.ASIT, TreeKind.SGX),
+]
+
+
+def _campaign(scheme, tree, **overrides):
+    defaults = dict(
+        seed=0,
+        trials=30,
+        trace_length=400,
+        num_crash_points=4,
+        probe_reads=4,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(system=small_config(scheme, tree), **defaults)
+
+
+class TestEveryWpqOccupancy:
+    """Property: crash at *every* request boundary of a short trace.
+
+    Each crash point leaves the WPQ at whatever occupancy the workload
+    produced there, so sweeping all of them covers every occupancy
+    state — empty, partially full, and full — for every scheme on both
+    trees.  A clean crash (ADR flushes faithfully) must never yield
+    silent corruption anywhere, protected or not.
+    """
+
+    @pytest.mark.parametrize(
+        "scheme,tree",
+        ALL_SYSTEMS,
+        ids=[f"{s.value}-{t.value}" for s, t in ALL_SYSTEMS],
+    )
+    def test_clean_crash_never_silent(self, scheme, tree):
+        length = 24
+        campaign = _campaign(
+            scheme,
+            tree,
+            trials=None,  # exhaustive: every point × every model
+            trace_length=length,
+            crash_points=range(1, length + 1),
+            catalogue=[CleanCrashFault()],
+            nested_crash_fraction=0.0,
+        )
+        result = run_campaign(campaign)
+        assert len(result.trials) == length
+        assert {t.crash_point for t in result.trials} == set(
+            range(1, length + 1)
+        )
+        result.require_no_silent_corruption()
+
+
+class TestDeterminism:
+    def test_same_seed_same_matrix_and_outcomes(self):
+        first = run_campaign(
+            _campaign(SchemeKind.AGIT_PLUS, TreeKind.BONSAI)
+        )
+        second = run_campaign(
+            _campaign(SchemeKind.AGIT_PLUS, TreeKind.BONSAI)
+        )
+        assert first.matrix() == second.matrix()
+        assert [
+            (t.fault, t.crash_point, t.outcome, t.nested_step)
+            for t in first.trials
+        ] == [
+            (t.fault, t.crash_point, t.outcome, t.nested_step)
+            for t in second.trials
+        ]
+
+    def test_different_seed_changes_the_plan(self):
+        first = run_campaign(
+            _campaign(SchemeKind.AGIT_PLUS, TreeKind.BONSAI, seed=0)
+        )
+        second = run_campaign(
+            _campaign(SchemeKind.AGIT_PLUS, TreeKind.BONSAI, seed=1)
+        )
+        assert [t.crash_point for t in first.trials] != [
+            t.crash_point for t in second.trials
+        ]
+
+
+class TestProtectedSchemes:
+    @pytest.mark.parametrize(
+        "scheme,tree",
+        [
+            (SchemeKind.AGIT_PLUS, TreeKind.BONSAI),
+            (SchemeKind.AGIT_READ, TreeKind.BONSAI),
+            (SchemeKind.ASIT, TreeKind.SGX),
+        ],
+        ids=["agit_plus", "agit_read", "asit"],
+    )
+    def test_full_catalogue_never_silent(self, scheme, tree):
+        result = run_campaign(_campaign(scheme, tree, trials=40))
+        result.require_no_silent_corruption()
+        assert result.classified_fraction == 1.0
+
+    def test_nested_crashes_are_exercised(self):
+        result = run_campaign(
+            _campaign(
+                SchemeKind.AGIT_PLUS,
+                TreeKind.BONSAI,
+                trials=40,
+                nested_crash_fraction=1.0,
+            )
+        )
+        assert any(t.nested_step is not None for t in result.trials)
+        result.require_no_silent_corruption()
+
+
+class TestUnprotectedControl:
+    """The campaign must be able to *catch* an escape, not just pass."""
+
+    def test_write_back_rollback_is_silent(self):
+        result = run_campaign(
+            _campaign(
+                SchemeKind.WRITE_BACK,
+                TreeKind.BONSAI,
+                trials=16,
+                catalogue=[RollbackFault()],
+                nested_crash_fraction=0.0,
+            )
+        )
+        silent = result.outcome_counts()[Outcome.SILENT_CORRUPTION.value]
+        assert silent > 0
+        with pytest.raises(SilentCorruptionError):
+            result.require_no_silent_corruption()
+
+    def test_protected_scheme_detects_the_same_rollback(self):
+        result = run_campaign(
+            _campaign(
+                SchemeKind.AGIT_PLUS,
+                TreeKind.BONSAI,
+                trials=16,
+                catalogue=[RollbackFault()],
+                nested_crash_fraction=0.0,
+            )
+        )
+        result.require_no_silent_corruption()
+
+    def test_weak_adr_drops_are_never_silent_under_asit(self):
+        result = run_campaign(
+            _campaign(
+                SchemeKind.ASIT,
+                TreeKind.SGX,
+                trials=16,
+                catalogue=[DroppedFlushFault(1), DroppedFlushFault(4)],
+            )
+        )
+        result.require_no_silent_corruption()
+
+
+class TestReporting:
+    def test_matrix_and_summary_render(self):
+        result = run_campaign(
+            _campaign(SchemeKind.AGIT_PLUS, TreeKind.BONSAI, trials=12)
+        )
+        matrix = coverage_matrix(result)
+        assert matrix  # at least one fault row
+        for counts in matrix.values():
+            assert sum(counts.values()) >= 1
+        table = format_matrix(result)
+        assert "**total**" in table
+        summary = format_summary(result)
+        assert "silent corruption: 0" in summary

@@ -27,11 +27,30 @@ class TestSingleBitRepair:
         controller = make_controller()
         controller.write(line(0), payload(9))
         controller.wpq.drain_all()
+        pristine = controller.nvm.peek(0)
         for bit in (0, 63, 64, 300, 511):
-            controller.nvm.inject_bit_flip(0, bit=bit)
+            previous = controller.nvm.inject_bit_flip(0, bit=bit)
+            assert previous in (0, 1)
             assert controller.read(line(0)) == payload(9)
-            # heal the device for the next round
-            controller.nvm.inject_bit_flip(0, bit=bit)
+            # restore the device image for the next round
+            controller.nvm.poke(0, pristine)
+
+    def test_flip_reports_previous_bit_value(self):
+        controller = make_controller()
+        controller.write(line(0), payload(3))
+        controller.wpq.drain_all()
+        before = controller.nvm.inject_bit_flip(0, bit=42)
+        after = controller.nvm.inject_bit_flip(0, bit=42)
+        assert {before, after} == {0, 1}  # second flip undoes the first
+
+    def test_batch_flips_one_per_word_corrected(self):
+        controller = make_controller()
+        controller.write(line(0), payload(4))
+        controller.wpq.drain_all()
+        previous = controller.nvm.inject_bit_flips(0, [5, 70, 200])
+        assert len(previous) == 3
+        assert all(bit in (0, 1) for bit in previous)
+        assert controller.read(line(0)) == payload(4)
 
     def test_sgx_data_flip_corrected(self):
         controller = make_controller(tree=TreeKind.SGX)

@@ -1,0 +1,172 @@
+"""Unit tests for the fault catalogue (:mod:`repro.faults.models`)."""
+
+import random
+
+import pytest
+
+from repro.config import SchemeKind, TreeKind
+from repro.faults.models import (
+    BitFlipFault,
+    CleanCrashFault,
+    DroppedFlushFault,
+    InjectionContext,
+    RollbackFault,
+    ShadowTamperFault,
+    StuckAtFault,
+    TornWriteFault,
+    default_catalogue,
+)
+
+from tests.helpers import line, make_controller, payload, small_config
+
+
+def _context(controller, record=None):
+    """Build an InjectionContext over a controller's current NVM."""
+    oracle = {}
+    return InjectionContext(
+        config=controller.config,
+        layout=controller.layout,
+        nvm=controller.nvm,
+        oracle=oracle,
+        record_nvm=record[0] if record else controller.nvm.snapshot(),
+        record_oracle=record[1] if record else {},
+    )
+
+
+class TestCatalogueFiltering:
+    def test_agit_catalogue_has_sct_smt_but_no_st(self):
+        config = small_config(SchemeKind.AGIT_PLUS, TreeKind.BONSAI)
+        names = {model.name for model in default_catalogue(config)}
+        assert "tamper_sct" in names and "tamper_smt" in names
+        assert "bit_flip_sct" in names and "bit_flip_smt" in names
+        assert "tamper_st" not in names and "bit_flip_st" not in names
+
+    def test_asit_catalogue_has_st_but_no_sct_smt(self):
+        config = small_config(SchemeKind.ASIT, TreeKind.SGX)
+        names = {model.name for model in default_catalogue(config)}
+        assert "tamper_st" in names and "bit_flip_st" in names
+        assert "tamper_sct" not in names and "tamper_smt" not in names
+
+    def test_baseline_catalogue_has_no_shadow_faults(self):
+        config = small_config(SchemeKind.WRITE_BACK, TreeKind.BONSAI)
+        names = {model.name for model in default_catalogue(config)}
+        assert not any("sct" in n or "smt" in n or "_st" in n for n in names)
+        assert "clean_crash" in names and "rollback" in names
+
+    def test_model_names_are_unique(self):
+        for scheme, tree in [
+            (SchemeKind.AGIT_PLUS, TreeKind.BONSAI),
+            (SchemeKind.ASIT, TreeKind.SGX),
+        ]:
+            catalogue = default_catalogue(small_config(scheme, tree))
+            names = [model.name for model in catalogue]
+            assert len(names) == len(set(names))
+
+
+class TestFlushPlans:
+    def test_clean_crash_flushes_everything(self):
+        assert CleanCrashFault().plan_flush(random.Random(0), [1, 2, 3]) == (
+            0,
+            0,
+        )
+
+    def test_dropped_flush_clamps_to_pending(self):
+        fault = DroppedFlushFault(4)
+        assert fault.plan_flush(random.Random(0), [1, 2]) == (2, 0)
+        assert fault.plan_flush(random.Random(0), [1] * 8) == (4, 0)
+
+    def test_torn_write_tears_one(self):
+        fault = TornWriteFault()
+        assert fault.plan_flush(random.Random(0), [1, 2]) == (0, 1)
+        assert fault.plan_flush(random.Random(0), []) == (0, 0)
+
+
+class TestInjection:
+    def _warm(self, scheme=SchemeKind.AGIT_PLUS, tree=TreeKind.BONSAI):
+        controller = make_controller(scheme, tree)
+        for index in range(8):
+            controller.write(line(index), payload(index))
+        # Push cached counters/nodes to NVM so every region has blocks.
+        controller.writeback_all()
+        controller.wpq.drain_all()
+        return controller
+
+    def test_bit_flip_data_names_affected_line(self):
+        controller = self._warm()
+        fault = BitFlipFault("data", 1).inject(
+            random.Random(0), _context(controller)
+        )
+        assert not fault.degenerate
+        assert len(fault.affected_lines) == 1
+        assert controller.layout.data.contains(fault.affected_lines[0])
+
+    def test_multi_bit_flip_stays_in_one_word(self):
+        controller = self._warm()
+        before = {
+            address: data for address, data in controller.nvm.touched_blocks()
+        }
+        fault = BitFlipFault("data", 3).inject(
+            random.Random(1), _context(controller)
+        )
+        (address,) = fault.affected_lines
+        changed_words = [
+            word
+            for word in range(8)
+            if before[address][word * 8 : (word + 1) * 8]
+            != controller.nvm.peek(address)[word * 8 : (word + 1) * 8]
+        ]
+        assert len(changed_words) == 1
+
+    def test_stuck_at_targets_written_counter_block(self):
+        controller = self._warm()
+        fault = StuckAtFault("counter").inject(
+            random.Random(2), _context(controller)
+        )
+        # A warmed system has counter blocks to corrupt; the sampled
+        # cell may already hold the stuck value (degenerate is allowed)
+        # but the fault must never fail to find a target.
+        assert "no written" not in fault.description
+        assert "counter block" in fault.description
+
+    def test_shadow_tamper_rejects_unknown_table(self):
+        with pytest.raises(ValueError):
+            ShadowTamperFault("bogus")
+
+    def test_bit_flip_rejects_unknown_region(self):
+        with pytest.raises(ValueError):
+            BitFlipFault("bogus")
+
+    def test_rollback_degenerates_without_rewrites(self):
+        # The record image equals the current image: nothing to replay.
+        controller = self._warm()
+        record = (
+            controller.nvm.snapshot(),
+            {line(i): payload(i) for i in range(8)},
+        )
+        fault = RollbackFault().inject(
+            random.Random(3), _context(controller, record)
+        )
+        assert fault.degenerate
+
+    def test_rollback_replays_an_old_image(self):
+        controller = self._warm()
+        record = (
+            controller.nvm.snapshot(),
+            {line(i): payload(i) for i in range(8)},
+        )
+        # Rewrite a line after the record point, then let the attacker
+        # roll it back: the NVM must hold the *old* ciphertext again.
+        controller.write(line(0), payload(99))
+        controller.wpq.drain_all()
+        ctx = InjectionContext(
+            config=controller.config,
+            layout=controller.layout,
+            nvm=controller.nvm,
+            oracle={line(0): payload(99)},
+            record_nvm=record[0],
+            record_oracle=record[1],
+        )
+        fault = RollbackFault().inject(random.Random(4), ctx)
+        assert not fault.degenerate
+        assert fault.affected_lines == (line(0),)
+        assert controller.nvm.peek(line(0)) == record[0].peek(line(0))

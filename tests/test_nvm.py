@@ -138,3 +138,48 @@ class TestSnapshot:
     def test_snapshot_copies_write_counts(self, nvm):
         nvm.write(0, LINE)
         assert nvm.snapshot().write_count(0) == 1
+
+    def test_restore_rewinds_contents(self, nvm):
+        nvm.write(0, LINE)
+        snapshot = nvm.snapshot()
+        nvm.write(0, b"\xff" * 64)
+        nvm.write(64, LINE)
+        nvm.restore(snapshot)
+        assert nvm.read(0) == LINE
+        assert not nvm.is_written(64)
+
+    def test_restore_is_isolated_from_snapshot(self, nvm):
+        nvm.write(0, LINE)
+        snapshot = nvm.snapshot()
+        nvm.restore(snapshot)
+        nvm.write(0, b"\xff" * 64)
+        assert snapshot.read(0) == LINE
+
+    def test_restore_rejects_size_mismatch(self, nvm):
+        with pytest.raises(LayoutError):
+            nvm.restore(NvmDevice(SIZE * 2))
+
+
+class TestInjectionHooks:
+    def test_bit_flip_returns_previous_value(self, nvm):
+        nvm.write(0, LINE)
+        first = nvm.inject_bit_flip(0, bit=9)
+        second = nvm.inject_bit_flip(0, bit=9)
+        assert {first, second} == {0, 1}
+        assert nvm.read(0) == LINE  # two flips cancel out
+
+    def test_batch_flip_reports_each_bit(self, nvm):
+        nvm.write(0, LINE)
+        previous = nvm.inject_bit_flips(0, [0, 1, 2])
+        assert previous == [0, 0, 0]  # byte 0 was 0x00
+        assert nvm.read(0)[0] == 0x07
+
+    def test_stuck_at_reports_whether_it_changed(self, nvm):
+        nvm.write(0, LINE)
+        assert nvm.inject_stuck_at(0, bit=0, value=1) is True
+        assert nvm.inject_stuck_at(0, bit=0, value=1) is False
+        assert nvm.read(0)[0] == 0x01
+
+    def test_stuck_at_rejects_non_binary_value(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.inject_stuck_at(0, bit=0, value=2)

@@ -84,7 +84,10 @@ class TestAdrFlush:
     def test_adr_flush_persists_everything(self, wpq, nvm):
         for index in range(3):
             wpq.insert(index * 64, LINE)
-        assert wpq.adr_flush() == 3
+        record = wpq.adr_flush()
+        assert record.count == 3
+        assert record.flushed == [0, 64, 128]
+        assert record.dropped == [] and record.torn == []
         assert all(nvm.is_written(index * 64) for index in range(3))
 
     def test_adr_flush_costs_no_channel_time(self, wpq, channel):
