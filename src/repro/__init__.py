@@ -82,9 +82,11 @@ from repro.faults import (
 from repro.recovery import OsirisFullRecovery, crash, reincarnate
 from repro.recovery.selective import SelectiveRestore
 from repro.sim import (
+    ParallelSweepExecutor,
     SchemeComparison,
     SimulationEngine,
     SimulationResult,
+    resolve_jobs,
     run_simulation,
 )
 from repro.traces.io import read_trace, write_trace
@@ -150,6 +152,8 @@ __all__ = [
     "SimulationEngine",
     "SimulationResult",
     "SchemeComparison",
+    "ParallelSweepExecutor",
+    "resolve_jobs",
     "run_simulation",
     # traces
     "Trace",

@@ -202,7 +202,7 @@ def _command_faults(args: argparse.Namespace) -> int:
         probe_reads=args.probe_reads,
         nested_crash_fraction=args.nested_fraction,
     )
-    result = run_campaign(campaign)
+    result = run_campaign(campaign, jobs=args.jobs)
     print(format_summary(result))
     print()
     print(format_matrix(result))
@@ -345,6 +345,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-silent",
         action="store_true",
         help="exit 0 even when silent corruption is found (control runs)",
+    )
+    faults.add_argument(
+        "--jobs",
+        metavar="N",
+        default="1",
+        help="worker processes for the trials ('auto' = one per core; "
+        "the coverage matrix is identical for any job count)",
     )
     faults.set_defaults(handler=_command_faults)
 

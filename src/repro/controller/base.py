@@ -54,7 +54,10 @@ class SecureMemoryController(abc.ABC):
             self.nvm, self.channel, config.wpq_entries, StatGroup("wpq")
         )
         self.pregs = PersistentRegisters(self.wpq)
-        self.ctr_engine = CounterModeEngine(self.keys)
+        self.ctr_engine = CounterModeEngine(
+            self.keys,
+            pad_memo_entries=config.encryption.pad_memo_entries,
+        )
         self.ecc_codec = SecdedCodec()
 
         self._data_reads = self.stats.counter("data_reads")

@@ -60,8 +60,13 @@ def run(
     seed: int = 0,
     capacity_bytes: int = 256 * MIB,
     cache_bytes: int = 32 * KIB,
+    jobs: int = 1,
 ) -> FaultCoverageResult:
-    """Run the campaign for each scheme under identical settings."""
+    """Run the campaign for each scheme under identical settings.
+
+    ``jobs`` fans each campaign's trials over worker processes; the
+    coverage matrices are identical for any job count.
+    """
     results = []
     for scheme, tree in CAMPAIGNS:
         config = default_table1_config(
@@ -73,7 +78,7 @@ def run(
             trials=trials,
             trace_length=trace_length,
         )
-        results.append(run_campaign(campaign))
+        results.append(run_campaign(campaign, jobs=jobs))
     return FaultCoverageResult(results=results, trials=trials, seed=seed)
 
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 from repro.config import SchemeKind, TreeKind, default_table1_config
 from repro.crypto.keys import ProcessorKeys
 from repro.experiments.reporting import format_markdown_table
-from repro.sim.engine import run_simulation
+from repro.sim.parallel import ParallelSweepExecutor
 from repro.traces.profiles import profile, profile_names
 from repro.traces.synthetic import generate_trace
 
@@ -43,6 +43,7 @@ def run(
     trace_length: int = 20_000,
     seed: int = 0,
     counter_cache_bytes: int = 8 * 1024,
+    jobs: int = 1,
 ) -> Fig07Result:
     """Measure the eviction split on the write-back baseline.
 
@@ -58,11 +59,16 @@ def run(
     config = default_table1_config(
         SchemeKind.WRITE_BACK, TreeKind.BONSAI
     ).with_cache_size(counter_cache_bytes)
+    traces = [
+        generate_trace(profile(name), trace_length, seed=seed)
+        for name in names
+    ]
+    results = ParallelSweepExecutor(jobs).run_simulations(
+        [(config, trace) for trace in traces], keys
+    )
     clean: Dict[str, int] = {}
     dirty: Dict[str, int] = {}
-    for name in names:
-        trace = generate_trace(profile(name), trace_length, seed=seed)
-        result = run_simulation(config, trace, keys)
+    for name, result in zip(names, results):
         clean[name] = int(result.stat("counter_cache.evictions_clean"))
         dirty[name] = int(result.stat("counter_cache.evictions_dirty"))
     return Fig07Result(clean=clean, dirty=dirty)

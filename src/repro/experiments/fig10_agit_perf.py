@@ -15,6 +15,7 @@ from repro.config import SchemeKind, TreeKind, default_table1_config
 from repro.crypto.keys import ProcessorKeys
 from repro.experiments.reporting import format_markdown_table
 from repro.sim.engine import SimulationEngine
+from repro.sim.parallel import ParallelSweepExecutor
 from repro.sim.results import SchemeComparison, average_overheads
 from repro.traces.profiles import profile, profile_names
 from repro.traces.synthetic import generate_trace
@@ -53,17 +54,25 @@ def run(
     benchmarks: Optional[List[str]] = None,
     trace_length: int = 20_000,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig10Result:
-    """Replay every benchmark under every scheme."""
+    """Replay every benchmark under every scheme.
+
+    ``jobs`` fans the benchmark × scheme grid over worker processes;
+    results are identical to a serial run.
+    """
     names = benchmarks if benchmarks is not None else profile_names()
     keys = ProcessorKeys(seed)
     engine = SimulationEngine(
-        default_table1_config(tree=TreeKind.BONSAI), keys
+        default_table1_config(tree=TreeKind.BONSAI),
+        keys,
+        executor=ParallelSweepExecutor(jobs),
     )
-    comparisons = []
-    for name in names:
-        trace = generate_trace(profile(name), trace_length, seed=seed)
-        comparisons.append(engine.compare(trace, SCHEMES))
+    traces = [
+        generate_trace(profile(name), trace_length, seed=seed)
+        for name in names
+    ]
+    comparisons = engine.sweep(traces, SCHEMES)
     return Fig10Result(
         comparisons=comparisons,
         averages=average_overheads(comparisons, SCHEMES),

@@ -16,6 +16,7 @@ from repro.config import SchemeKind, TreeKind, default_table1_config
 from repro.crypto.keys import ProcessorKeys
 from repro.experiments.reporting import format_markdown_table
 from repro.sim.engine import SimulationEngine
+from repro.sim.parallel import ParallelSweepExecutor
 from repro.sim.results import SchemeComparison, average_overheads
 from repro.traces.profiles import profile, profile_names
 from repro.traces.synthetic import generate_trace
@@ -48,17 +49,27 @@ def run(
     benchmarks: Optional[List[str]] = None,
     trace_length: int = 20_000,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig11Result:
-    """Replay every benchmark under every SGX scheme."""
+    """Replay every benchmark under every SGX scheme.
+
+    ``jobs`` fans the benchmark × scheme grid over worker processes;
+    results are identical to a serial run.
+    """
     names = benchmarks if benchmarks is not None else profile_names()
     keys = ProcessorKeys(seed)
-    engine = SimulationEngine(default_table1_config(tree=TreeKind.SGX), keys)
-    comparisons = []
+    engine = SimulationEngine(
+        default_table1_config(tree=TreeKind.SGX),
+        keys,
+        executor=ParallelSweepExecutor(jobs),
+    )
+    traces = [
+        generate_trace(profile(name), trace_length, seed=seed)
+        for name in names
+    ]
+    comparisons = engine.sweep(traces, SCHEMES)
     extra: Dict[SchemeKind, List[float]] = {scheme: [] for scheme in SCHEMES}
-    for name in names:
-        trace = generate_trace(profile(name), trace_length, seed=seed)
-        comparison = engine.compare(trace, SCHEMES)
-        comparisons.append(comparison)
+    for comparison in comparisons:
         for scheme in SCHEMES:
             extra[scheme].append(
                 comparison.results[scheme].extra_writes_per_data_write

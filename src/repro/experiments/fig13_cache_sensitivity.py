@@ -20,7 +20,7 @@ from repro.config import (
 )
 from repro.crypto.keys import ProcessorKeys
 from repro.experiments.reporting import format_markdown_table
-from repro.sim.engine import run_simulation
+from repro.sim.parallel import ParallelSweepExecutor
 from repro.traces.profiles import MIB, SPEC_PROFILES, SyntheticProfile
 from repro.traces.synthetic import generate_trace
 
@@ -75,11 +75,13 @@ def run(
     cache_sizes: Optional[List[int]] = None,
     trace_length: int = 25_000,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Fig13Result:
     """Sweep cache sizes for each Anubis scheme on one workload.
 
     The default is the dedicated :data:`SWEEP_PROFILE`; any SPEC-like
-    profile name is also accepted.
+    profile name is also accepted.  ``jobs`` fans the (scheme, size)
+    grid — two simulations per point — over worker processes.
     """
     sizes = list(cache_sizes) if cache_sizes is not None else DEFAULT_CACHE_SIZES
     keys = ProcessorKeys(seed)
@@ -90,15 +92,21 @@ def run(
     )
     trace = generate_trace(workload, trace_length, seed=seed)
     result = Fig13Result(cache_sizes=sizes, benchmark=benchmark)
+    cells = []
     for scheme, tree in SERIES:
-        series: Dict[int, float] = {}
         for size in sizes:
             base_config = default_table1_config(
                 SchemeKind.WRITE_BACK, tree
             ).with_cache_size(size)
-            scheme_config = base_config.with_scheme(scheme)
-            base = run_simulation(base_config, trace, keys)
-            run_result = run_simulation(scheme_config, trace, keys)
+            cells.append((base_config, trace))
+            cells.append((base_config.with_scheme(scheme), trace))
+    outcomes = ParallelSweepExecutor(jobs).run_simulations(cells, keys)
+    cursor = 0
+    for scheme, _tree in SERIES:
+        series: Dict[int, float] = {}
+        for size in sizes:
+            base, run_result = outcomes[cursor], outcomes[cursor + 1]
+            cursor += 2
             series[size] = run_result.elapsed_ns / base.elapsed_ns
         result.normalized[scheme] = series
     return result

@@ -6,6 +6,12 @@ Usage::
     python -m repro.experiments --full           # paper-scale traces (slower)
     python -m repro.experiments fig10            # one experiment only
     python -m repro.experiments --json out.json  # machine-readable results
+    python -m repro.experiments --jobs 4         # fan grids over 4 processes
+    python -m repro.experiments --jobs auto      # one worker per core
+
+``--jobs`` only changes wall-clock time: grid cells and campaign trials
+are reduced in deterministic submission order, so the printed tables and
+``--json`` output are byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ import json
 import sys
 import time
 from typing import Callable, Dict, Optional
+
+from repro.sim.parallel import resolve_jobs
 
 from repro.experiments import (
     extra_dirty_footprint,
@@ -29,7 +37,7 @@ from repro.experiments import (
 )
 
 
-def _run_fig05(full: bool) -> dict:
+def _run_fig05(full: bool, jobs: int = 1) -> dict:
     result = fig05_recovery_osiris.run()
     print("Figure 5 — Osiris recovery time vs memory size")
     print(fig05_recovery_osiris.format_table(result))
@@ -44,9 +52,9 @@ def _run_fig05(full: bool) -> dict:
     }
 
 
-def _run_fig07(full: bool) -> dict:
+def _run_fig07(full: bool, jobs: int = 1) -> dict:
     result = fig07_clean_evictions.run(
-        trace_length=40_000 if full else 12_000
+        trace_length=40_000 if full else 12_000, jobs=jobs
     )
     print("Figure 7 — counter-cache eviction split (write-back baseline)")
     print(fig07_clean_evictions.format_table(result))
@@ -57,8 +65,10 @@ def _run_fig07(full: bool) -> dict:
     }
 
 
-def _run_fig10(full: bool) -> dict:
-    result = fig10_agit_perf.run(trace_length=30_000 if full else 10_000)
+def _run_fig10(full: bool, jobs: int = 1) -> dict:
+    result = fig10_agit_perf.run(
+        trace_length=30_000 if full else 10_000, jobs=jobs
+    )
     print("Figure 10 — AGIT performance (normalized to write-back)")
     print(fig10_agit_perf.format_table(result))
     return {
@@ -75,8 +85,10 @@ def _run_fig10(full: bool) -> dict:
     }
 
 
-def _run_fig11(full: bool) -> dict:
-    result = fig11_asit_perf.run(trace_length=30_000 if full else 10_000)
+def _run_fig11(full: bool, jobs: int = 1) -> dict:
+    result = fig11_asit_perf.run(
+        trace_length=30_000 if full else 10_000, jobs=jobs
+    )
     print("Figure 11 — ASIT performance (normalized to write-back)")
     print(fig11_asit_perf.format_table(result))
     return {
@@ -90,7 +102,7 @@ def _run_fig11(full: bool) -> dict:
     }
 
 
-def _run_fig12(full: bool) -> dict:
+def _run_fig12(full: bool, jobs: int = 1) -> dict:
     result = fig12_recovery_time.run(functional=full)
     print("Figure 12 — Anubis recovery time vs metadata cache size")
     print(fig12_recovery_time.format_table(result))
@@ -114,9 +126,9 @@ def _run_fig12(full: bool) -> dict:
     }
 
 
-def _run_fig13(full: bool) -> dict:
+def _run_fig13(full: bool, jobs: int = 1) -> dict:
     result = fig13_cache_sensitivity.run(
-        trace_length=20_000 if full else 8_000
+        trace_length=20_000 if full else 8_000, jobs=jobs
     )
     print(f"Figure 13 — cache-size sensitivity ({result.benchmark})")
     print(fig13_cache_sensitivity.format_table(result))
@@ -128,7 +140,7 @@ def _run_fig13(full: bool) -> dict:
     }
 
 
-def _run_headline(full: bool) -> dict:
+def _run_headline(full: bool, jobs: int = 1) -> dict:
     result = headline.run()
     print("Headline — recovery-time comparison")
     print(headline.format_table(result))
@@ -139,7 +151,7 @@ def _run_headline(full: bool) -> dict:
     }
 
 
-def _run_dirty_footprint(full: bool) -> dict:
+def _run_dirty_footprint(full: bool, jobs: int = 1) -> dict:
     footprints = None if full else [64, 256, 1024, 2048]
     result = extra_dirty_footprint.run(footprints=footprints)
     print("Extra — AGIT recovery work vs dirty footprint")
@@ -156,8 +168,10 @@ def _run_dirty_footprint(full: bool) -> dict:
     }
 
 
-def _run_fault_coverage(full: bool) -> dict:
-    result = extra_fault_coverage.run(trials=240 if full else 60)
+def _run_fault_coverage(full: bool, jobs: int = 1) -> dict:
+    result = extra_fault_coverage.run(
+        trials=240 if full else 60, jobs=jobs
+    )
     print("Extra — fault-injection coverage by scheme")
     print(extra_fault_coverage.format_table(result))
     return {
@@ -166,7 +180,7 @@ def _run_fault_coverage(full: bool) -> dict:
     }
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], dict]] = {
+EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "fig05": _run_fig05,
     "fig07": _run_fig07,
     "fig10": _run_fig10,
@@ -202,13 +216,21 @@ def main(argv=None) -> int:
         default=None,
         help="also write structured results to a JSON file",
     )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        default="1",
+        help="worker processes for sweep grids and campaign trials "
+        "('auto' = one per core; default: 1, fully serial)",
+    )
     args = parser.parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
     selected = args.experiments or list(EXPERIMENTS)
     collected: Dict[str, dict] = {}
     for name in selected:
         start = time.time()
         print("=" * 72)
-        collected[name] = EXPERIMENTS[name](args.full)
+        collected[name] = EXPERIMENTS[name](args.full, jobs)
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
     if args.json:
         with open(args.json, "w") as stream:

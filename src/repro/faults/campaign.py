@@ -36,10 +36,11 @@ Outcome taxonomy (:class:`Outcome`):
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import BLOCK_SIZE, SchemeKind, SystemConfig, TreeKind
 from repro.controller.factory import build_controller, build_layout
@@ -64,6 +65,7 @@ from repro.mem.wpq import WritePendingQueue
 from repro.recovery.crash import capture_chip_state, restore_chip_state, ChipState
 from repro.recovery.osiris_full import OsirisFullRecovery
 from repro.recovery.selective import SelectiveRestore
+from repro.sim.parallel import resolve_jobs
 from repro.traces.profiles import KIB, SyntheticProfile, profile
 from repro.traces.synthetic import generate_trace
 from repro.traces.trace import Trace
@@ -300,12 +302,38 @@ def _probe_targets(
     return ordered
 
 
-def run_campaign(campaign: CampaignConfig) -> CampaignResult:
-    """Run one deterministic fault-injection campaign."""
+def _trial_rng(seed: int, index: int) -> random.Random:
+    """The RNG of one trial, derived from (campaign seed, trial index).
+
+    Trials used to share the campaign RNG sequentially, which made any
+    trial's draws depend on every earlier trial — impossible to fan out.
+    A per-trial derivation makes trials order-independent, so serial and
+    parallel executions of the same plan are bit-identical.
+    """
+    return random.Random(f"repro-fault-trial:{seed}:{index}")
+
+
+@dataclass
+class _CampaignPlan:
+    """Everything derivable from the config alone (no warmup needed)."""
+
+    requests: List
+    points: List[int]
+    record_at: int
+    catalogue: List[FaultModel]
+    #: (crash point, fault model, nested-crash step) per trial.
+    plan: List[Tuple[int, FaultModel, Optional[int]]]
+
+
+def _build_plan(campaign: CampaignConfig) -> _CampaignPlan:
+    """Deterministically derive the trial plan from the campaign config.
+
+    All campaign-level randomness (crash-point sampling, per-trial model
+    and nested-crash schedule) is consumed here, in one fixed order, so
+    every process that re-derives the plan gets the same one.
+    """
     config = campaign.system
     rng = random.Random(campaign.seed)
-    keys = ProcessorKeys(campaign.seed)
-    layout = build_layout(config)
 
     trace = generate_trace(
         campaign_profile(campaign.workload),
@@ -329,6 +357,49 @@ def run_campaign(campaign: CampaignConfig) -> CampaignResult:
     # consistent point — an orderly writeback a quarter into the trace
     # (never after the first crash point).
     record_at = min(len(requests) // 4, points[0])
+
+    catalogue = campaign.catalogue
+    if catalogue is None:
+        catalogue = default_catalogue(config)
+    if not catalogue:
+        raise ValueError("campaign needs at least one fault model")
+
+    # Trial plan: exhaustive grid when trials is None, otherwise
+    # round-robin over the catalogue (every model exercised) with
+    # rng-sampled crash points and nested-crash schedule.
+    plan: List[Tuple[int, FaultModel, Optional[int]]] = []
+    if campaign.trials is None:
+        for point in points:
+            for model in catalogue:
+                plan.append((point, model, None))
+    else:
+        for _ in range(campaign.trials):
+            model = catalogue[len(plan) % len(catalogue)]
+            point = points[rng.randrange(len(points))]
+            nested: Optional[int] = None
+            if rng.random() < campaign.nested_crash_fraction:
+                nested = rng.randrange(1, 8)
+            plan.append((point, model, nested))
+    return _CampaignPlan(
+        requests=requests,
+        points=points,
+        record_at=record_at,
+        catalogue=catalogue,
+        plan=plan,
+    )
+
+
+def _warmup_images(
+    campaign: CampaignConfig,
+    plan: _CampaignPlan,
+    keys: ProcessorKeys,
+    layout,
+) -> Tuple[Dict[int, _CrashImage], Optional[NvmDevice], Optional[Dict[int, bytes]]]:
+    """Replay the workload once; fork the domain at every crash point."""
+    config = campaign.system
+    requests = plan.requests
+    points = plan.points
+    record_at = plan.record_at
 
     controller = build_controller(config, keys=keys, layout=layout)
     oracle: Dict[int, bytes] = {}
@@ -370,42 +441,31 @@ def run_campaign(campaign: CampaignConfig) -> CampaignResult:
             chip=capture_chip_state(controller),
             oracle=dict(oracle),
         )
+    return images, record_nvm, record_oracle
 
-    catalogue = campaign.catalogue
-    if catalogue is None:
-        catalogue = default_catalogue(config)
-    if not catalogue:
-        raise ValueError("campaign needs at least one fault model")
 
-    # Trial plan: exhaustive grid when trials is None, otherwise
-    # round-robin over the catalogue (every model exercised) with
-    # rng-sampled crash points and nested-crash schedule.
-    plan: List[Tuple[int, FaultModel, Optional[int]]] = []
-    if campaign.trials is None:
-        for point in points:
-            for model in catalogue:
-                plan.append((point, model, None))
-    else:
-        for index in range(campaign.trials):
-            model = catalogue[index % len(catalogue)]
-            point = points[rng.randrange(len(points))]
-            nested: Optional[int] = None
-            if rng.random() < campaign.nested_crash_fraction:
-                nested = rng.randrange(1, 8)
-            plan.append((point, model, nested))
+def _execute_trials(
+    campaign: CampaignConfig,
+    plan: _CampaignPlan,
+    indices: Sequence[int],
+) -> List[TrialResult]:
+    """Warm up once, then run the given subset of the trial plan.
 
-    result = CampaignResult(
-        scheme=config.scheme,
-        tree=config.tree,
-        seed=campaign.seed,
-        workload=campaign.workload,
-        trace_length=campaign.trace_length,
-        crash_points=points,
+    Each worker process (and the serial path) calls this; trials draw
+    from per-index RNGs, so any partition of the indices produces the
+    same per-trial results.
+    """
+    config = campaign.system
+    keys = ProcessorKeys(campaign.seed)
+    layout = build_layout(config)
+    images, record_nvm, record_oracle = _warmup_images(
+        campaign, plan, keys, layout
     )
-
     trial_nvm = NvmDevice(layout.total_size)
-    for index, (point, model, nested) in enumerate(plan):
-        result.trials.append(
+    trials: List[TrialResult] = []
+    for index in indices:
+        point, model, nested = plan.plan[index]
+        trials.append(
             _run_trial(
                 index=index,
                 config=config,
@@ -414,7 +474,7 @@ def run_campaign(campaign: CampaignConfig) -> CampaignResult:
                 image=images[point],
                 model=model,
                 nested=nested,
-                rng=rng,
+                rng=_trial_rng(campaign.seed, index),
                 trial_nvm=trial_nvm,
                 record_nvm=record_nvm,
                 record_oracle=record_oracle,
@@ -422,6 +482,60 @@ def run_campaign(campaign: CampaignConfig) -> CampaignResult:
                 crash_point=point,
             )
         )
+    return trials
+
+
+def _campaign_worker(
+    payload: Tuple[CampaignConfig, List[int]]
+) -> List[TrialResult]:
+    """Pool worker: rebuild the plan locally, run one index slice."""
+    campaign, indices = payload
+    plan = _build_plan(campaign)
+    return _execute_trials(campaign, plan, indices)
+
+
+def run_campaign(
+    campaign: CampaignConfig, jobs: Union[int, str, None] = 1
+) -> CampaignResult:
+    """Run one deterministic fault-injection campaign.
+
+    ``jobs`` fans the trials over worker processes (``"auto"`` uses
+    every core).  Each worker re-derives the deterministic plan and
+    replays the warmup itself — configs are tiny and picklable, NVM
+    snapshots are not — then runs a contiguous slice of trials; slices
+    are merged in plan order, so the result matrix is identical for any
+    job count.
+    """
+    plan = _build_plan(campaign)
+    result = CampaignResult(
+        scheme=campaign.system.scheme,
+        tree=campaign.system.tree,
+        seed=campaign.seed,
+        workload=campaign.workload,
+        trace_length=campaign.trace_length,
+        crash_points=plan.points,
+    )
+
+    workers = min(resolve_jobs(jobs), len(plan.plan))
+    if workers <= 1:
+        result.trials = _execute_trials(
+            campaign, plan, range(len(plan.plan))
+        )
+        return result
+
+    # Contiguous slices keep per-worker warmup count at exactly one.
+    indices = list(range(len(plan.plan)))
+    step = (len(indices) + workers - 1) // workers
+    slices = [
+        indices[start : start + step]
+        for start in range(0, len(indices), step)
+    ]
+    with multiprocessing.Pool(processes=len(slices)) as pool:
+        chunks = pool.map(
+            _campaign_worker, [(campaign, chunk) for chunk in slices]
+        )
+    for chunk in chunks:
+        result.trials.extend(chunk)
     return result
 
 

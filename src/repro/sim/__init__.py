@@ -1,6 +1,7 @@
 """Simulation engine: build a system, replay a trace, collect results."""
 
 from repro.sim.engine import SimulationEngine, run_simulation
+from repro.sim.parallel import ParallelSweepExecutor, resolve_jobs
 from repro.sim.results import SchemeComparison, SimulationResult
 
 __all__ = [
@@ -8,4 +9,6 @@ __all__ = [
     "run_simulation",
     "SimulationResult",
     "SchemeComparison",
+    "ParallelSweepExecutor",
+    "resolve_jobs",
 ]

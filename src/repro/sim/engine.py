@@ -17,6 +17,7 @@ from repro.controller.bonsai import BonsaiController
 from repro.controller.factory import build_controller
 from repro.controller.sgx import SgxController
 from repro.crypto.keys import ProcessorKeys
+from repro.sim.parallel import ParallelSweepExecutor
 from repro.sim.results import SchemeComparison, SimulationResult
 from repro.traces.replay import replay
 from repro.traces.trace import Trace
@@ -63,15 +64,26 @@ def run_simulation(
 
 
 class SimulationEngine:
-    """Runs scheme sweeps over traces with a shared base configuration."""
+    """Runs scheme sweeps over traces with a shared base configuration.
+
+    An optional :class:`~repro.sim.parallel.ParallelSweepExecutor` fans
+    the independent (trace, scheme) cells of :meth:`compare` and
+    :meth:`sweep` over worker processes; results are reduced in
+    submission order, so a parallel sweep is byte-identical to the
+    serial one.
+    """
 
     def __init__(
         self,
         base_config: SystemConfig,
         keys: Optional[ProcessorKeys] = None,
+        executor: Optional["ParallelSweepExecutor"] = None,
     ) -> None:
         self.base_config = base_config
         self.keys = keys if keys is not None else ProcessorKeys()
+        self.executor = (
+            executor if executor is not None else ParallelSweepExecutor(1)
+        )
 
     def run(self, trace: Trace, scheme: SchemeKind) -> SimulationResult:
         """Run one trace under one scheme."""
@@ -85,10 +97,7 @@ class SimulationEngine:
         baseline: SchemeKind = SchemeKind.WRITE_BACK,
     ) -> SchemeComparison:
         """Run one trace under several schemes; baseline-normalized."""
-        comparison = SchemeComparison(benchmark=trace.name, baseline=baseline)
-        for scheme in schemes:
-            comparison.add(self.run(trace, scheme))
-        return comparison
+        return self.sweep([trace], list(schemes), baseline)[0]
 
     def sweep(
         self,
@@ -97,6 +106,21 @@ class SimulationEngine:
         baseline: SchemeKind = SchemeKind.WRITE_BACK,
     ) -> List[SchemeComparison]:
         """The full figure-style grid: every trace under every scheme."""
-        return [
-            self.compare(trace, schemes, baseline) for trace in traces
+        trace_list = list(traces)
+        cells = [
+            (self.base_config.with_scheme(scheme), trace)
+            for trace in trace_list
+            for scheme in schemes
         ]
+        results = self.executor.run_simulations(cells, self.keys)
+        comparisons: List[SchemeComparison] = []
+        cursor = 0
+        for trace in trace_list:
+            comparison = SchemeComparison(
+                benchmark=trace.name, baseline=baseline
+            )
+            for _scheme in schemes:
+                comparison.add(results[cursor])
+                cursor += 1
+            comparisons.append(comparison)
+        return comparisons

@@ -67,18 +67,44 @@ class SchemeComparison:
         """Register one scheme's result."""
         self.results[result.scheme] = result
 
+    @property
+    def has_baseline(self) -> bool:
+        """Whether the baseline scheme's result was added."""
+        return self.baseline in self.results
+
+    def raw_time(self, scheme: SchemeKind) -> float:
+        """Absolute execution time in nanoseconds (no normalization)."""
+        if scheme not in self.results:
+            raise ValueError(
+                f"scheme {scheme.value!r} was never run for benchmark "
+                f"{self.benchmark!r}"
+            )
+        return self.results[scheme].elapsed_ns
+
     def normalized_time(self, scheme: SchemeKind) -> float:
-        """Execution time relative to the baseline (1.0 = baseline)."""
-        base = self.results[self.baseline].elapsed_ns
-        return self.results[scheme].elapsed_ns / base if base else 0.0
+        """Execution time relative to the baseline (1.0 = baseline).
+
+        Raises a clear :class:`ValueError` naming the missing scheme —
+        previously a sweep that never ran the baseline (e.g. one
+        without WRITE_BACK) died with a bare ``KeyError``.  Use
+        :meth:`raw_time` when no baseline exists.
+        """
+        if not self.has_baseline:
+            raise ValueError(
+                f"baseline scheme {self.baseline.value!r} was never added "
+                f"to the {self.benchmark!r} comparison — run it too, or "
+                "use raw_time() for unnormalized values"
+            )
+        base = self.raw_time(self.baseline)
+        return self.raw_time(scheme) / base if base else 0.0
 
     def overhead_percent(self, scheme: SchemeKind) -> float:
         """Run-time overhead over the baseline, in percent."""
         return (self.normalized_time(scheme) - 1.0) * 100.0
 
     def schemes(self) -> List[SchemeKind]:
-        """Schemes present, baseline first."""
-        ordered = [self.baseline]
+        """Schemes present, baseline first (omitted when never run)."""
+        ordered = [self.baseline] if self.has_baseline else []
         ordered.extend(
             scheme for scheme in self.results if scheme != self.baseline
         )
@@ -103,7 +129,7 @@ def average_overheads(
         values = [
             comparison.normalized_time(scheme)
             for comparison in comparisons
-            if scheme in comparison.results
+            if scheme in comparison.results and comparison.has_baseline
         ]
         if values:
             averages[scheme] = (geometric_mean(values) - 1.0) * 100.0

@@ -35,15 +35,22 @@ class Counter:
 
 
 class Histogram:
-    """A streaming histogram tracking count / sum / min / max / mean."""
+    """A streaming histogram tracking count / sum / min / max / mean.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "sum_sq")
+    Variance uses Welford's online algorithm: the textbook
+    ``sum_sq/n - mean²`` shortcut cancels catastrophically once samples
+    are large relative to their spread (e.g. nanosecond timestamps in
+    the 1e9 range with sub-1e3 jitter), and can even go negative.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_mean", "_m2")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
-        self.sum_sq = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
 
@@ -51,7 +58,9 @@ class Histogram:
         """Record one sample."""
         self.count += 1
         self.total += value
-        self.sum_sq += value * value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
         if self.minimum is None or value < self.minimum:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
@@ -60,21 +69,21 @@ class Histogram:
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observed samples (0.0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        return self._mean if self.count else 0.0
 
     @property
     def stddev(self) -> float:
         """Population standard deviation of the samples (0.0 when empty)."""
         if not self.count:
             return 0.0
-        variance = self.sum_sq / self.count - self.mean ** 2
-        return math.sqrt(max(variance, 0.0))
+        return math.sqrt(max(self._m2 / self.count, 0.0))
 
     def reset(self) -> None:
         """Clear all samples."""
         self.count = 0
         self.total = 0.0
-        self.sum_sq = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
         self.minimum = None
         self.maximum = None
 

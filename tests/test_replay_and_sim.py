@@ -56,6 +56,34 @@ class TestReplay:
         with pytest.raises(IntegrityError):
             replay(controller, trace, oracle=oracle, check_reads=True)
 
+    def test_cold_reads_use_configured_block_size(self):
+        """Regression: the oracle default was a hard-coded ``bytes(64)``.
+
+        On a non-64B geometry every never-written read returned a
+        correctly sized zero line that failed to compare against the
+        64-byte blank, raising a phantom IntegrityError.
+        """
+
+        class _Stub128:
+            """Minimal controller: 128B blocks, zero-filled memory."""
+
+            def __init__(self):
+                from repro.config import MemoryConfig, SystemConfig
+
+                self.config = SystemConfig(
+                    memory=MemoryConfig(block_size=128, page_size=4096)
+                )
+
+            def access(self, request):
+                if request.op == Op.READ:
+                    return bytes(128)
+                return None
+
+        trace = Trace("t")
+        trace.append(MemoryRequest(op=Op.READ, address=0, gap_ns=0.0))
+        # Must not raise: the blank expectation matches the geometry.
+        replay(_Stub128(), trace, check_reads=True)
+
     def test_oracle_extended_across_replays(self):
         controller = build_controller(small_config(), keys=ProcessorKeys(1))
         oracle = replay(controller, tiny_trace(writes=5, reads=0))
@@ -150,6 +178,41 @@ class TestResults:
             {SchemeKind.OSIRIS: 1.0, SchemeKind.WRITE_BACK: 1.0}
         )
         assert comparison.schemes()[0] == SchemeKind.WRITE_BACK
+
+    def test_missing_baseline_raises_named_error(self):
+        """Regression: a sweep without WRITE_BACK died with KeyError."""
+        comparison = self.make_comparison(
+            {SchemeKind.OSIRIS: 1.0, SchemeKind.AGIT_PLUS: 2.0}
+        )
+        assert not comparison.has_baseline
+        with pytest.raises(ValueError, match="write_back"):
+            comparison.normalized_time(SchemeKind.OSIRIS)
+        with pytest.raises(ValueError, match="never run"):
+            comparison.raw_time(SchemeKind.WRITE_BACK)
+
+    def test_missing_baseline_not_listed_in_schemes(self):
+        comparison = self.make_comparison(
+            {SchemeKind.OSIRIS: 1.0, SchemeKind.AGIT_PLUS: 2.0}
+        )
+        schemes = comparison.schemes()
+        assert SchemeKind.WRITE_BACK not in schemes
+        assert set(schemes) == {SchemeKind.OSIRIS, SchemeKind.AGIT_PLUS}
+
+    def test_raw_time_without_baseline(self):
+        comparison = self.make_comparison({SchemeKind.OSIRIS: 123.0})
+        assert comparison.raw_time(SchemeKind.OSIRIS) == 123.0
+
+    def test_average_overheads_skip_baselineless_comparisons(self):
+        from repro.sim.results import average_overheads
+
+        with_base = self.make_comparison(
+            {SchemeKind.WRITE_BACK: 100.0, SchemeKind.OSIRIS: 200.0}
+        )
+        without_base = self.make_comparison({SchemeKind.OSIRIS: 999.0})
+        averages = average_overheads(
+            [with_base, without_base], [SchemeKind.OSIRIS]
+        )
+        assert averages[SchemeKind.OSIRIS] == pytest.approx(100.0)
 
     def test_average_overheads_gmean(self):
         comparisons = [

@@ -55,6 +55,39 @@ class TestHistogram:
         histogram.reset()
         assert histogram.count == 0
         assert histogram.minimum is None
+        assert histogram.stddev == 0.0
+
+    def test_stddev_large_magnitude_samples(self):
+        """Welford regression: ns-scale samples with tiny jitter.
+
+        The old ``sum_sq/n - mean²`` formula cancels catastrophically
+        here — it reported 0.0 (or NaN from a negative variance) for
+        samples around 1e9 with spread 2.0.
+        """
+        histogram = Histogram("h")
+        base = 1e9
+        for offset in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            histogram.observe(base + offset)
+        assert histogram.stddev == pytest.approx(2.0, rel=1e-6)
+        assert histogram.mean == pytest.approx(base + 5.0)
+
+    def test_stddev_never_negative_variance(self):
+        histogram = Histogram("h")
+        for _ in range(1000):
+            histogram.observe(1e15 + 1.0)
+        assert histogram.stddev == pytest.approx(0.0, abs=1e-3)
+
+    def test_reset_then_reuse_matches_fresh(self):
+        recycled = Histogram("h")
+        for value in (10.0, 20.0):
+            recycled.observe(value)
+        recycled.reset()
+        fresh = Histogram("h")
+        for value in (1.0, 3.0):
+            recycled.observe(value)
+            fresh.observe(value)
+        assert recycled.mean == fresh.mean
+        assert recycled.stddev == fresh.stddev
 
 
 class TestStatGroup:
