@@ -65,12 +65,16 @@ from repro.core import (
 )
 from repro.crypto import ProcessorKeys
 from repro.errors import (
+    ArtifactCorruptError,
+    CheckpointMismatchError,
     IntegrityError,
     RecoveryError,
     ReproError,
     RootMismatchError,
     SilentCorruptionError,
     UnrecoverableError,
+    WorkerCrashError,
+    WorkerTimeoutError,
 )
 from repro.faults import (
     CampaignConfig,
@@ -82,12 +86,15 @@ from repro.faults import (
 from repro.recovery import OsirisFullRecovery, crash, reincarnate
 from repro.recovery.selective import SelectiveRestore
 from repro.sim import (
+    CheckpointJournal,
     ParallelSweepExecutor,
     SchemeComparison,
     SimulationEngine,
     SimulationResult,
+    load_artifact,
     resolve_jobs,
     run_simulation,
+    write_artifact,
 )
 from repro.traces.io import read_trace, write_trace
 from repro.traces import (
@@ -133,6 +140,10 @@ __all__ = [
     "RecoveryError",
     "UnrecoverableError",
     "SilentCorruptionError",
+    "WorkerTimeoutError",
+    "WorkerCrashError",
+    "ArtifactCorruptError",
+    "CheckpointMismatchError",
     # recovery
     "crash",
     "reincarnate",
@@ -155,6 +166,10 @@ __all__ = [
     "ParallelSweepExecutor",
     "resolve_jobs",
     "run_simulation",
+    # checkpointing
+    "CheckpointJournal",
+    "write_artifact",
+    "load_artifact",
     # traces
     "Trace",
     "SyntheticProfile",

@@ -19,6 +19,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -187,9 +188,19 @@ def _resolve_faults_system(args: argparse.Namespace):
     return config
 
 
+#: ``repro faults`` exit codes, distinct so CI can tell regressions
+#: apart: 3 = at least one SILENT_CORRUPTION trial, 4 = at least one
+#: RECOVERY_FAILED trial (and no silent corruption).  2 stays reserved
+#: for :class:`~repro.errors.ReproError` (see :func:`main`).
+EXIT_SILENT_CORRUPTION = 3
+EXIT_RECOVERY_FAILED = 4
+
+
 def _command_faults(args: argparse.Namespace) -> int:
-    from repro.faults import CampaignConfig, run_campaign
+    from repro.faults import CampaignConfig, Outcome, run_campaign
     from repro.faults.report import format_matrix, format_summary
+    from repro.sim.checkpoint import write_artifact
+    from repro.sim.parallel import ParallelSweepExecutor
 
     config = _resolve_faults_system(args)
     campaign = CampaignConfig(
@@ -202,15 +213,18 @@ def _command_faults(args: argparse.Namespace) -> int:
         probe_reads=args.probe_reads,
         nested_crash_fraction=args.nested_fraction,
     )
-    result = run_campaign(campaign, jobs=args.jobs)
+    executor = ParallelSweepExecutor(
+        args.jobs, timeout=args.timeout, retries=args.retries
+    )
+    result = run_campaign(
+        campaign, checkpoint_dir=args.resume, executor=executor
+    )
     print(format_summary(result))
     print()
     print(format_matrix(result))
     silent = result.silent_trials()
     failed = [
-        t
-        for t in result.trials
-        if t.outcome.value == "RECOVERY_FAILED"
+        t for t in result.trials if t.outcome is Outcome.RECOVERY_FAILED
     ]
     for trial in (silent + failed)[:10]:
         print(
@@ -222,13 +236,24 @@ def _command_faults(args: argparse.Namespace) -> int:
         print(f"  {trial.description}")
         if trial.detail:
             print(f"  {trial.detail}")
+    if args.resume:
+        artifact = os.path.join(args.resume, "campaign.json")
+        write_artifact(artifact, result.to_dict(), kind="fault-campaign")
+        print(f"\ncampaign artifact written to {artifact}")
     if silent and not args.allow_silent:
         print(
             f"\nFAIL: {len(silent)} silent-corruption trial(s) — this "
             "scheme serves wrong data without raising",
             file=sys.stderr,
         )
-        return 1
+        return EXIT_SILENT_CORRUPTION
+    if failed and not args.allow_failed:
+        print(
+            f"\nFAIL: {len(failed)} recovery-failed trial(s) — recovery "
+            "died on an unprincipled exception",
+            file=sys.stderr,
+        )
+        return EXIT_RECOVERY_FAILED
     return 0
 
 
@@ -347,11 +372,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 0 even when silent corruption is found (control runs)",
     )
     faults.add_argument(
+        "--allow-failed",
+        action="store_true",
+        help="exit 0 even when trials classify RECOVERY_FAILED",
+    )
+    faults.add_argument(
         "--jobs",
         metavar="N",
         default="1",
         help="worker processes for the trials ('auto' = one per core; "
         "the coverage matrix is identical for any job count)",
+    )
+    faults.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory: journal every completed trial there "
+        "and skip trials already journaled, so an interrupted campaign "
+        "re-run with the same DIR finishes the remaining work and "
+        "produces output identical to an uninterrupted run (also writes "
+        "DIR/campaign.json)",
+    )
+    faults.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-trial-slice timeout; hung or killed workers are "
+        "detected, torn down, and their work retried (default: no limit)",
+    )
+    faults.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=2,
+        help="retry rounds for failed worker slices before degrading to "
+        "in-process execution (default: 2)",
     )
     faults.set_defaults(handler=_command_faults)
 

@@ -82,3 +82,45 @@ class WpqError(ReproError):
 
 class TraceError(ReproError):
     """A trace record is malformed or incompatible with the system size."""
+
+
+class ExecutionError(ReproError):
+    """The resilient execution layer could not complete a work unit."""
+
+
+class WorkerTimeoutError(ExecutionError):
+    """A worker process did not return a cell's result within the
+    configured per-cell timeout.
+
+    Raised by :class:`~repro.sim.parallel.ParallelSweepExecutor` after a
+    cell has exhausted its retries: re-running a *hanging* cell
+    in-process would hang the driver too, so persistent timeouts abort
+    instead of degrading to serial execution."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died abruptly (SIGKILL, OOM kill, segfault)
+    while running a cell, losing the in-flight result.
+
+    The supervisor retries the cell in a fresh pool and finally re-runs
+    it in-process; this error surfaces only in diagnostics (the retry
+    log) or when in-process fallback is impossible."""
+
+
+class ArtifactCorruptError(ReproError):
+    """A persisted result artifact or checkpoint record failed its
+    integrity validation (truncated JSON, checksum mismatch, wrong
+    artifact kind, or unsupported version).
+
+    The harness writes artifacts atomically and embeds a checksum, so
+    this error indicates on-disk corruption or a file the harness never
+    wrote — never a half-finished write."""
+
+
+class CheckpointMismatchError(ReproError):
+    """A checkpoint journal exists but was recorded for *different*
+    work (its fingerprint does not match the requested campaign or
+    sweep), so resuming from it would silently mix results.
+
+    Point ``--resume`` at a fresh directory, or re-run with the exact
+    configuration that produced the journal."""

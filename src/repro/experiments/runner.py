@@ -8,21 +8,34 @@ Usage::
     python -m repro.experiments --json out.json  # machine-readable results
     python -m repro.experiments --jobs 4         # fan grids over 4 processes
     python -m repro.experiments --jobs auto      # one worker per core
+    python -m repro.experiments --resume out/    # checkpoint + skip done
 
 ``--jobs`` only changes wall-clock time: grid cells and campaign trials
 are reduced in deterministic submission order, so the printed tables and
 ``--json`` output are byte-identical to a serial run.
+
+``--resume DIR`` journals each finished experiment to a crash-safe
+checkpoint in ``DIR``; re-running after an interrupt (SIGTERM, OOM,
+preemption) skips completed experiments and produces the same final
+JSON an uninterrupted run would have.  ``--timeout`` and ``--retries``
+configure worker supervision for the parallel grids.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional
 
-from repro.sim.parallel import resolve_jobs
+from repro.sim.checkpoint import (
+    CheckpointJournal,
+    atomic_write_json,
+    fingerprint,
+    write_artifact,
+)
+from repro.sim.parallel import configure_executor_defaults, resolve_jobs
 
 from repro.experiments import (
     extra_dirty_footprint,
@@ -223,18 +236,69 @@ def main(argv=None) -> int:
         help="worker processes for sweep grids and campaign trials "
         "('auto' = one per core; default: 1, fully serial)",
     )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory: journal each finished experiment "
+        "there and skip experiments already journaled, so interrupted "
+        "runs resume instead of restarting (also writes DIR/results.json)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-cell timeout for parallel grids; hung or killed "
+        "workers are torn down and retried (default: no limit)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=2,
+        help="retry rounds for failed cells before degrading to "
+        "in-process execution (default: 2)",
+    )
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
+    configure_executor_defaults(timeout=args.timeout, retries=args.retries)
     selected = args.experiments or list(EXPERIMENTS)
+
+    journal: Optional[CheckpointJournal] = None
+    if args.resume:
+        # The fingerprint covers everything that changes results —
+        # notably --full — but not --jobs, which only changes speed.
+        journal = CheckpointJournal(
+            os.path.join(args.resume, "experiments.jsonl"),
+            fingerprint("experiments", args.full),
+        )
+
     collected: Dict[str, dict] = {}
-    for name in selected:
-        start = time.time()
-        print("=" * 72)
-        collected[name] = EXPERIMENTS[name](args.full, jobs)
-        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    try:
+        for name in selected:
+            key = f"experiment:{name}"
+            if journal is not None and key in journal:
+                print("=" * 72)
+                print(f"[{name} restored from checkpoint — skipping]\n")
+                collected[name] = journal.get(key)
+                continue
+            start = time.time()
+            print("=" * 72)
+            collected[name] = EXPERIMENTS[name](args.full, jobs)
+            if journal is not None:
+                journal.record(key, collected[name])
+            print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if args.resume:
+        artifact = os.path.join(args.resume, "results.json")
+        write_artifact(artifact, collected, kind="experiment-results")
+        print(f"experiment artifact written to {artifact}")
     if args.json:
-        with open(args.json, "w") as stream:
-            json.dump(collected, stream, indent=2, sort_keys=True)
+        atomic_write_json(args.json, collected)
         print(f"structured results written to {args.json}")
     return 0
 

@@ -28,6 +28,8 @@ from repro.faults.campaign import (
     CampaignResult,
     Outcome,
     TrialResult,
+    campaign_fingerprint,
+    open_campaign_journal,
     run_campaign,
 )
 from repro.faults.models import (
@@ -50,6 +52,8 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "TrialResult",
+    "campaign_fingerprint",
+    "open_campaign_journal",
     "run_campaign",
     "FaultModel",
     "InjectedFault",

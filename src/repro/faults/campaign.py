@@ -36,11 +36,11 @@ Outcome taxonomy (:class:`Outcome`):
 
 from __future__ import annotations
 
-import multiprocessing
+import os
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import BLOCK_SIZE, SchemeKind, SystemConfig, TreeKind
 from repro.controller.factory import build_controller, build_layout
@@ -65,7 +65,8 @@ from repro.mem.wpq import WritePendingQueue
 from repro.recovery.crash import capture_chip_state, restore_chip_state, ChipState
 from repro.recovery.osiris_full import OsirisFullRecovery
 from repro.recovery.selective import SelectiveRestore
-from repro.sim.parallel import resolve_jobs
+from repro.sim.checkpoint import CheckpointJournal, fingerprint
+from repro.sim.parallel import ParallelSweepExecutor
 from repro.traces.profiles import KIB, SyntheticProfile, profile
 from repro.traces.synthetic import generate_trace
 from repro.traces.trace import Trace
@@ -149,6 +150,28 @@ class TrialResult:
     probed: int = 0
     degenerate: bool = False
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (checkpoint journal / artifact payload)."""
+        return {
+            "index": self.index,
+            "fault": self.fault,
+            "description": self.description,
+            "crash_point": self.crash_point,
+            "outcome": self.outcome.value,
+            "nested_step": self.nested_step,
+            "detected_at": self.detected_at,
+            "detail": self.detail,
+            "probed": self.probed,
+            "degenerate": self.degenerate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrialResult":
+        """Inverse of :meth:`to_dict`, exact round-trip."""
+        record = dict(payload)
+        record["outcome"] = Outcome(record["outcome"])
+        return cls(**record)
+
 
 @dataclass
 class CampaignConfig:
@@ -171,6 +194,29 @@ class CampaignConfig:
     #: Fraction of trials that also crash *during* recovery.
     nested_crash_fraction: float = 0.25
     catalogue: Optional[List[FaultModel]] = None
+
+
+def campaign_fingerprint(campaign: CampaignConfig) -> str:
+    """Deterministic identity of a campaign's *work*.
+
+    Everything that changes which trials run or what they compute is
+    included; execution knobs (``jobs``, timeouts) deliberately are
+    not, so a journal written at ``--jobs 4`` resumes at ``--jobs 1``.
+    """
+    catalogue = campaign.catalogue
+    return fingerprint(
+        "fault-campaign",
+        campaign.system,
+        campaign.seed,
+        campaign.trials,
+        campaign.workload,
+        campaign.trace_length,
+        list(campaign.crash_points) if campaign.crash_points else None,
+        campaign.num_crash_points,
+        campaign.probe_reads,
+        campaign.nested_crash_fraction,
+        None if catalogue is None else [model.name for model in catalogue],
+    )
 
 
 @dataclass
@@ -217,6 +263,28 @@ class CampaignResult:
             if t.outcome in (Outcome.RECOVERED, Outcome.DETECTED_UNRECOVERABLE)
         )
         return good / len(self.trials)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form with trials in plan order plus summaries.
+
+        Deterministic for a given campaign — serial, parallel, and
+        resumed runs all serialize to the same bytes, which is exactly
+        what the kill-and-resume smoke ``cmp``s.
+        """
+        return {
+            "scheme": self.scheme.value,
+            "tree": self.tree.value,
+            "seed": self.seed,
+            "workload": self.workload,
+            "trace_length": self.trace_length,
+            "crash_points": list(self.crash_points),
+            "outcome_counts": self.outcome_counts(),
+            "matrix": self.matrix(),
+            "trials": [
+                trial.to_dict()
+                for trial in sorted(self.trials, key=lambda t: t.index)
+            ],
+        }
 
     def require_no_silent_corruption(self) -> None:
         """Raise :class:`SilentCorruptionError` if any trial lied."""
@@ -448,12 +516,15 @@ def _execute_trials(
     campaign: CampaignConfig,
     plan: _CampaignPlan,
     indices: Sequence[int],
+    on_trial: Optional[Callable[[TrialResult], None]] = None,
 ) -> List[TrialResult]:
     """Warm up once, then run the given subset of the trial plan.
 
     Each worker process (and the serial path) calls this; trials draw
     from per-index RNGs, so any partition of the indices produces the
-    same per-trial results.
+    same per-trial results.  ``on_trial`` fires after each trial — the
+    serial path journals through it, so an interrupt loses at most the
+    trial in flight.
     """
     config = campaign.system
     keys = ProcessorKeys(campaign.seed)
@@ -465,23 +536,24 @@ def _execute_trials(
     trials: List[TrialResult] = []
     for index in indices:
         point, model, nested = plan.plan[index]
-        trials.append(
-            _run_trial(
-                index=index,
-                config=config,
-                layout=layout,
-                keys=keys,
-                image=images[point],
-                model=model,
-                nested=nested,
-                rng=_trial_rng(campaign.seed, index),
-                trial_nvm=trial_nvm,
-                record_nvm=record_nvm,
-                record_oracle=record_oracle,
-                probe_reads=campaign.probe_reads,
-                crash_point=point,
-            )
+        trial = _run_trial(
+            index=index,
+            config=config,
+            layout=layout,
+            keys=keys,
+            image=images[point],
+            model=model,
+            nested=nested,
+            rng=_trial_rng(campaign.seed, index),
+            trial_nvm=trial_nvm,
+            record_nvm=record_nvm,
+            record_oracle=record_oracle,
+            probe_reads=campaign.probe_reads,
+            crash_point=point,
         )
+        if on_trial is not None:
+            on_trial(trial)
+        trials.append(trial)
     return trials
 
 
@@ -494,17 +566,53 @@ def _campaign_worker(
     return _execute_trials(campaign, plan, indices)
 
 
+#: Journal key of one trial's record.
+def _trial_key(index: int) -> str:
+    return f"trial:{index}"
+
+
+#: When journaling, parallel slices are capped at this many trials so
+#: an interrupt loses at most ``jobs * cap`` trials of progress (each
+#: slice re-warms, so smaller caps trade warmup time for durability).
+_JOURNAL_SLICE_CAP = 8
+
+
+def open_campaign_journal(
+    directory: str, campaign: CampaignConfig
+) -> CheckpointJournal:
+    """The campaign's checkpoint journal inside ``directory``.
+
+    Creating it for a *different* campaign than the journal on disk was
+    recorded for raises
+    :class:`~repro.errors.CheckpointMismatchError`.
+    """
+    return CheckpointJournal(
+        os.path.join(directory, "campaign.jsonl"),
+        campaign_fingerprint(campaign),
+    )
+
+
 def run_campaign(
-    campaign: CampaignConfig, jobs: Union[int, str, None] = 1
+    campaign: CampaignConfig,
+    jobs: Union[int, str, None] = 1,
+    checkpoint_dir: Optional[str] = None,
+    executor: Optional[ParallelSweepExecutor] = None,
 ) -> CampaignResult:
     """Run one deterministic fault-injection campaign.
 
-    ``jobs`` fans the trials over worker processes (``"auto"`` uses
-    every core).  Each worker re-derives the deterministic plan and
-    replays the warmup itself — configs are tiny and picklable, NVM
-    snapshots are not — then runs a contiguous slice of trials; slices
-    are merged in plan order, so the result matrix is identical for any
-    job count.
+    ``jobs`` fans the trials over supervised worker processes
+    (``"auto"`` uses every core).  Each worker re-derives the
+    deterministic plan and replays the warmup itself — configs are tiny
+    and picklable, NVM snapshots are not — then runs a contiguous slice
+    of trials; slices are merged in plan order, so the result matrix is
+    identical for any job count.  Pass a preconfigured ``executor`` to
+    set supervision knobs (per-trial-slice timeout, retries).
+
+    ``checkpoint_dir`` makes the campaign *preemption-safe*: every
+    completed trial is appended to a crash-safe journal there, and a
+    re-run with the same directory (and the same campaign — enforced by
+    fingerprint) skips journaled trials and returns a result identical
+    to an uninterrupted run.
     """
     plan = _build_plan(campaign)
     result = CampaignResult(
@@ -516,26 +624,52 @@ def run_campaign(
         crash_points=plan.points,
     )
 
-    workers = min(resolve_jobs(jobs), len(plan.plan))
-    if workers <= 1:
-        result.trials = _execute_trials(
-            campaign, plan, range(len(plan.plan))
-        )
-        return result
+    journal: Optional[CheckpointJournal] = None
+    completed: Dict[int, TrialResult] = {}
+    if checkpoint_dir is not None:
+        journal = open_campaign_journal(checkpoint_dir, campaign)
+        for index in range(len(plan.plan)):
+            payload = journal.get(_trial_key(index))
+            if payload is not None:
+                completed[index] = TrialResult.from_dict(payload)
 
-    # Contiguous slices keep per-worker warmup count at exactly one.
-    indices = list(range(len(plan.plan)))
-    step = (len(indices) + workers - 1) // workers
-    slices = [
-        indices[start : start + step]
-        for start in range(0, len(indices), step)
-    ]
-    with multiprocessing.Pool(processes=len(slices)) as pool:
-        chunks = pool.map(
-            _campaign_worker, [(campaign, chunk) for chunk in slices]
-        )
-    for chunk in chunks:
-        result.trials.extend(chunk)
+    def finish(trial: TrialResult) -> None:
+        completed[trial.index] = trial
+        if journal is not None:
+            journal.record(_trial_key(trial.index), trial.to_dict())
+
+    try:
+        pending = [
+            index for index in range(len(plan.plan)) if index not in completed
+        ]
+        if executor is None:
+            executor = ParallelSweepExecutor(jobs)
+        workers = min(executor.jobs, len(pending))
+        if pending and workers <= 1:
+            _execute_trials(campaign, plan, pending, on_trial=finish)
+        elif pending:
+            # Contiguous slices keep per-worker warmups rare; with a
+            # journal the slices shrink so completed work is durable
+            # long before the campaign ends.
+            step = (len(pending) + workers - 1) // workers
+            if journal is not None:
+                step = max(1, min(step, _JOURNAL_SLICE_CAP))
+            slices = [
+                pending[start : start + step]
+                for start in range(0, len(pending), step)
+            ]
+            executor.map(
+                _campaign_worker,
+                [(campaign, chunk) for chunk in slices],
+                on_result=lambda _slice, trials: [
+                    finish(trial) for trial in trials
+                ],
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    result.trials = [completed[index] for index in range(len(plan.plan))]
     return result
 
 

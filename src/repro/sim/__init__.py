@@ -1,7 +1,19 @@
 """Simulation engine: build a system, replay a trace, collect results."""
 
+from repro.sim.checkpoint import (
+    CheckpointJournal,
+    atomic_write_json,
+    cell_fingerprint,
+    fingerprint,
+    load_artifact,
+    write_artifact,
+)
 from repro.sim.engine import SimulationEngine, run_simulation
-from repro.sim.parallel import ParallelSweepExecutor, resolve_jobs
+from repro.sim.parallel import (
+    ParallelSweepExecutor,
+    configure_executor_defaults,
+    resolve_jobs,
+)
 from repro.sim.results import SchemeComparison, SimulationResult
 
 __all__ = [
@@ -10,5 +22,12 @@ __all__ = [
     "SimulationResult",
     "SchemeComparison",
     "ParallelSweepExecutor",
+    "configure_executor_defaults",
     "resolve_jobs",
+    "CheckpointJournal",
+    "atomic_write_json",
+    "cell_fingerprint",
+    "fingerprint",
+    "load_artifact",
+    "write_artifact",
 ]

@@ -1,0 +1,403 @@
+"""Crash-safe checkpointing: journals, fingerprints, atomic artifacts.
+
+Anubis's thesis is that *selective persistence of just-enough state*
+makes crashes survivable; this module applies the same idea to the
+harness itself.  Three layers:
+
+**Fingerprints** (:func:`fingerprint`, :func:`trace_fingerprint`,
+:func:`cell_fingerprint`) deterministically identify a unit of work —
+a (config, trace, seed) cell or a whole campaign — so a checkpoint can
+refuse to resume the *wrong* work instead of silently mixing results.
+
+**Atomic artifacts** (:func:`atomic_write_text`,
+:func:`atomic_write_json`, :func:`write_artifact`,
+:func:`load_artifact`).  Every JSON artifact is written to a temp file
+in the destination directory, fsync'd, then :func:`os.replace`'d into
+place — a crash mid-write can never leave a truncated file under the
+final name.  :func:`write_artifact` additionally wraps the payload in a
+versioned envelope with an embedded checksum; :func:`load_artifact`
+validates it and raises :class:`~repro.errors.ArtifactCorruptError` on
+any mismatch.
+
+**The journal** (:class:`CheckpointJournal`): an append-only JSONL file
+with one checksummed record per completed work unit, flushed and
+fsync'd per append.  A crash can tear at most the final line; on reopen
+the journal drops the torn tail (truncating it away so later appends
+stay well-formed) and resumes after the last durable record.  A corrupt
+record *followed by valid ones* is real on-disk damage and raises
+:class:`~repro.errors.ArtifactCorruptError`; a journal whose header
+fingerprint does not match the requested work raises
+:class:`~repro.errors.CheckpointMismatchError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from repro.errors import ArtifactCorruptError, CheckpointMismatchError
+
+#: Envelope version for :func:`write_artifact` artifacts.
+ARTIFACT_VERSION = 1
+
+#: Magic + version for :class:`CheckpointJournal` headers.
+JOURNAL_MAGIC = "repro-checkpoint"
+JOURNAL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Canonical serialization and fingerprints
+# ----------------------------------------------------------------------
+
+def plain(value: Any) -> Any:
+    """Reduce a value to plain JSON types, deterministically.
+
+    Dataclasses become ``{"__type__": name, **fields}`` dicts, enums
+    their ``.value``, bytes a hex string, tuples lists.  The mapping is
+    stable across processes and Python versions — the foundation every
+    fingerprint rests on.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        record = {"__type__": type(value).__name__}
+        for field in dataclasses.fields(value):
+            record[field.name] = plain(getattr(value, field.name))
+        return record
+    if isinstance(value, enum.Enum):
+        return plain(value.value)
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    if isinstance(value, dict):
+        return {str(key): plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [plain(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for fingerprinting"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical one-line JSON encoding used for checksums."""
+    return json.dumps(
+        plain(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint(*parts: Any) -> str:
+    """A 16-hex-digit deterministic fingerprint of the given values."""
+    return _digest(canonical_json(list(parts)))[:16]
+
+
+def trace_fingerprint(trace) -> str:
+    """Fingerprint of a :class:`~repro.traces.trace.Trace`'s content.
+
+    Hashes every request's (op, address, data, gap) — two traces with
+    the same name but different streams get different fingerprints.
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.name.encode("utf-8"))
+    for request in trace:
+        data = request.data or b""
+        digest.update(
+            f"|{request.op.value}:{request.address}:{request.gap_ns!r}:".encode()
+        )
+        digest.update(data)
+    return digest.hexdigest()[:16]
+
+
+def cell_fingerprint(config, trace, seed: Optional[int] = None) -> str:
+    """Deterministic identity of one simulation cell.
+
+    The key a checkpoint journal stores a cell's result under: same
+    config + same trace content + same seed ⇒ same fingerprint, in any
+    process, at any ``--jobs`` count.
+    """
+    return fingerprint(config, trace_fingerprint(trace), seed)
+
+
+# ----------------------------------------------------------------------
+# Atomic writes and versioned artifacts
+# ----------------------------------------------------------------------
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory (persists the rename itself)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + fsync + replace)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_json(path: str, payload: Any, indent: int = 2) -> None:
+    """Atomically write ``payload`` as sorted, indented JSON."""
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    atomic_write_text(path, text + "\n")
+
+
+def write_artifact(path: str, payload: Any, kind: str) -> None:
+    """Atomically write a versioned, checksummed result artifact.
+
+    The envelope records the artifact ``kind`` (e.g. "fault-campaign"),
+    the schema version, and a checksum of the canonical payload
+    encoding; :func:`load_artifact` refuses anything that does not
+    validate.  Output bytes are deterministic for a given payload, so
+    two runs producing the same results produce ``cmp``-identical
+    artifact files.
+    """
+    payload = plain(payload)
+    envelope = {
+        "artifact": kind,
+        "version": ARTIFACT_VERSION,
+        "checksum": _digest(canonical_json(payload)),
+        "payload": payload,
+    }
+    atomic_write_json(path, envelope)
+
+
+def load_artifact(path: str, kind: Optional[str] = None) -> Any:
+    """Load and validate an artifact written by :func:`write_artifact`.
+
+    Raises :class:`ArtifactCorruptError` on unparseable JSON, a missing
+    or mismatched checksum, an unsupported version, or (when ``kind``
+    is given) the wrong artifact kind.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            envelope = json.load(stream)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArtifactCorruptError(
+            f"artifact {path!r} is not valid JSON (truncated write or "
+            f"external corruption): {exc}"
+        ) from None
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise ArtifactCorruptError(
+            f"artifact {path!r} has no payload envelope — not written by "
+            "this harness"
+        )
+    version = envelope.get("version")
+    if version != ARTIFACT_VERSION:
+        raise ArtifactCorruptError(
+            f"artifact {path!r} has unsupported version {version!r} "
+            f"(expected {ARTIFACT_VERSION})"
+        )
+    if kind is not None and envelope.get("artifact") != kind:
+        raise ArtifactCorruptError(
+            f"artifact {path!r} is a {envelope.get('artifact')!r}, "
+            f"expected {kind!r}"
+        )
+    payload = envelope["payload"]
+    expected = envelope.get("checksum")
+    actual = _digest(canonical_json(payload))
+    if expected != actual:
+        raise ArtifactCorruptError(
+            f"artifact {path!r} failed its checksum "
+            f"({expected!r} != {actual!r}) — contents were altered after "
+            "writing"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# The crash-safe journal
+# ----------------------------------------------------------------------
+
+class CheckpointJournal:
+    """Append-only, fsync-per-record JSONL journal of completed work.
+
+    Parameters
+    ----------
+    path:
+        The journal file; parent directories are created.
+    work_fingerprint:
+        Identity of the work being journaled (see :func:`fingerprint`).
+        Reopening a journal recorded for different work raises
+        :class:`CheckpointMismatchError` instead of mixing results.
+    """
+
+    def __init__(self, path: str, work_fingerprint: str) -> None:
+        self.path = os.path.abspath(path)
+        self.work_fingerprint = work_fingerprint
+        self._records: Dict[str, Any] = {}
+        self._stream = None
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._open()
+
+    # -- loading -------------------------------------------------------
+
+    def _open(self) -> None:
+        valid_bytes = 0
+        existing = b""
+        if os.path.exists(self.path):
+            with open(self.path, "rb") as stream:
+                existing = stream.read()
+        if existing:
+            valid_bytes = self._load(existing)
+        self._stream = open(self.path, "ab")
+        if valid_bytes < len(existing):
+            # A torn tail (crash mid-append): drop it so the next
+            # append starts on a fresh, well-formed line.
+            self._stream.truncate(valid_bytes)
+            self._stream.seek(valid_bytes)
+        if valid_bytes == 0:
+            # Fresh file, or even the header line was torn: (re)write it.
+            self._append_line(
+                {
+                    "journal": JOURNAL_MAGIC,
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": self.work_fingerprint,
+                }
+            )
+
+    def _load(self, raw: bytes) -> int:
+        """Parse the journal; return the byte length of the valid prefix."""
+        lines = raw.split(b"\n")
+        complete = lines[:-1]  # bytes after the last "\n" are a torn tail
+        records: Dict[str, Any] = {}
+        consumed = 0
+        header = None
+        for number, line in enumerate(complete):
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (ValueError, UnicodeDecodeError):
+                if number == len(complete) - 1:
+                    break  # torn final line — crash mid-append, drop it
+                raise ArtifactCorruptError(
+                    f"journal {self.path!r} line {number + 1} is corrupt "
+                    "but later records exist — the file was damaged after "
+                    "writing"
+                ) from None
+            if number == 0:
+                if record.get("journal") != JOURNAL_MAGIC:
+                    raise ArtifactCorruptError(
+                        f"{self.path!r} is not a checkpoint journal"
+                    )
+                if record.get("version") != JOURNAL_VERSION:
+                    raise ArtifactCorruptError(
+                        f"journal {self.path!r} has unsupported version "
+                        f"{record.get('version')!r}"
+                    )
+                header = record
+            else:
+                key = record.get("key")
+                payload = record.get("payload")
+                checksum = record.get("checksum")
+                if key is None or checksum != fingerprint(key, payload):
+                    if number == len(complete) - 1:
+                        break  # torn/incomplete final record
+                    raise ArtifactCorruptError(
+                        f"journal {self.path!r} record {number} failed its "
+                        "checksum but later records exist — on-disk "
+                        "corruption"
+                    )
+                records[key] = payload
+            consumed += len(line) + 1
+        if header is None:
+            return 0
+        if header.get("fingerprint") != self.work_fingerprint:
+            raise CheckpointMismatchError(
+                f"journal {self.path!r} was recorded for different work "
+                f"(fingerprint {header.get('fingerprint')!r}, expected "
+                f"{self.work_fingerprint!r}) — resume with the original "
+                "configuration or point --resume at a fresh directory"
+            )
+        self._records = records
+        return consumed
+
+    # -- appending -----------------------------------------------------
+
+    def _append_line(self, record: Dict[str, Any]) -> None:
+        if self._stream is None:
+            raise ValueError(f"journal {self.path!r} is closed")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._stream.write(line.encode("utf-8") + b"\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def record(self, key: str, payload: Any) -> None:
+        """Durably append one completed unit (idempotent per key)."""
+        if key in self._records:
+            return
+        payload = plain(payload)
+        self._records[key] = payload
+        self._append_line(
+            {
+                "key": key,
+                "payload": payload,
+                "checksum": fingerprint(key, payload),
+            }
+        )
+
+    # -- reading -------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The payload recorded under ``key`` (or ``default``)."""
+        return self._records.get(key, default)
+
+    def items(self) -> Iterable:
+        return self._records.items()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointJournal({self.path!r}, {len(self._records)} records)"
+        )

@@ -1,14 +1,35 @@
-"""Parallel fan-out of independent simulation cells.
+"""Supervised parallel fan-out of independent simulation cells.
 
 Every cell of a figure grid — one (configuration, trace) pair — is an
 independent, deterministic computation: the worker builds its own
 controller from the picklable config, replays the picklable trace, and
 returns a picklable :class:`~repro.sim.results.SimulationResult`.  The
 same holds for fault-campaign trials.  :class:`ParallelSweepExecutor`
-exploits that with a :mod:`multiprocessing` pool while keeping results
-**byte-identical** to a serial run: work is submitted in deterministic
-order and reduced in submission order (``Pool.map`` preserves it), and
-no randomness crosses process boundaries.
+exploits that with a *supervised* :mod:`multiprocessing` pool while
+keeping results **byte-identical** to a serial run: results are
+reduced into a slot per submission index regardless of completion
+order, retries re-run the same deterministic cell, and no randomness
+crosses process boundaries.
+
+Supervision (all optional, all off by default for ``jobs=1``):
+
+* **spawn workers** — pools use ``multiprocessing.get_context("spawn")``
+  so no parent heap state leaks into workers, and ``maxtasksperchild``
+  recycles workers before long campaigns can accumulate memory;
+* **per-cell timeout** — a cell that exceeds ``timeout`` seconds raises
+  :class:`~repro.errors.WorkerTimeoutError` internally, the wedged pool
+  is torn down (killing the hung worker), and the cell is retried.  The
+  timeout is also what bounds *abrupt worker death* (SIGKILL/OOM): a
+  killed worker's task never completes, so its slot times out and is
+  retried in a fresh pool — set a timeout on unattended campaigns;
+* **capped exponential backoff** — ``backoff * 2**(round-1)`` seconds
+  between retry rounds, capped at :data:`BACKOFF_CAP`;
+* **graceful degradation** — a cell that keeps failing with a crash or
+  an application exception is finally re-run *in-process*, where a real
+  exception propagates with its original type and a flaky environment
+  failure gets one last clean shot.  A cell that keeps *timing out* is
+  the one case that aborts (raises :class:`WorkerTimeoutError`):
+  re-running a hanging cell in-process would hang the driver too.
 
 ``jobs=1`` (the default everywhere) never touches multiprocessing, so
 single-core environments and CI behave exactly as before.
@@ -18,10 +39,22 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
+import sys
+import time
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.config import SystemConfig
 from repro.crypto.keys import ProcessorKeys
+from repro.errors import WorkerCrashError, WorkerTimeoutError
 from repro.sim.results import SimulationResult
 from repro.traces.trace import Trace
 
@@ -32,28 +65,85 @@ R = TypeVar("R")
 #: config (with these keys).
 SimCell = Tuple[SystemConfig, Trace]
 
+#: Ceiling for exponential retry backoff, seconds.
+BACKOFF_CAP = 5.0
 
-def resolve_jobs(spec: Union[int, str, None]) -> int:
+#: How long a supervised wait sleeps between wakeups, seconds.  Keeps
+#: the driver responsive to signals without busy-waiting.
+_POLL_SECONDS = 0.05
+
+_UNSET = object()
+
+#: Process-global executor defaults, overridable from the CLI (see
+#: :func:`configure_executor_defaults`) so ``--timeout``/``--retries``
+#: reach executors constructed deep inside experiment modules.
+_EXECUTOR_DEFAULTS: Dict[str, object] = {
+    "timeout": None,
+    "retries": 2,
+    "backoff": 0.5,
+    "maxtasksperchild": 16,
+}
+
+
+def configure_executor_defaults(**overrides: object) -> None:
+    """Set process-wide defaults for supervision parameters.
+
+    Recognized keys: ``timeout`` (seconds or None), ``retries``,
+    ``backoff``, ``maxtasksperchild``.  Experiment entry points call
+    this once from their CLI flags; executors created afterwards with
+    unspecified parameters pick the new defaults up.
+    """
+    for key, value in overrides.items():
+        if key not in _EXECUTOR_DEFAULTS:
+            raise ValueError(f"unknown executor default {key!r}")
+        _EXECUTOR_DEFAULTS[key] = value
+
+
+def max_reasonable_jobs() -> int:
+    """The clamp applied to absurd ``--jobs`` requests."""
+    return max(32, 4 * (os.cpu_count() or 1))
+
+
+def resolve_jobs(spec: Union[int, float, str, None]) -> int:
     """Turn a ``--jobs`` value into a worker count.
 
     ``None``/``"1"``/``1`` mean serial; ``"auto"`` (or ``0``) uses every
-    available core; anything else must be a positive integer.
+    available core; anything else must be a positive integer — floats
+    are accepted only when integral (``2.0`` is 2, ``2.5`` is an
+    error).  Requests beyond :func:`max_reasonable_jobs` are clamped
+    with a warning: thousands of workers only thrash the scheduler.
     """
     if spec is None:
         return 1
     if isinstance(spec, str):
-        if spec.strip().lower() == "auto":
+        text = spec.strip().lower()
+        if text == "auto":
             return max(os.cpu_count() or 1, 1)
         try:
-            spec = int(spec)
+            spec = int(text)
         except ValueError:
             raise ValueError(
                 f"--jobs expects a positive integer or 'auto', got {spec!r}"
             ) from None
+    if isinstance(spec, float):
+        if not spec.is_integer():
+            raise ValueError(
+                f"--jobs must be a whole number of workers, got {spec!r}"
+            )
+        spec = int(spec)
     if spec == 0:
         return max(os.cpu_count() or 1, 1)
     if spec < 0:
         raise ValueError(f"--jobs must be >= 1, got {spec}")
+    cap = max_reasonable_jobs()
+    if spec > cap:
+        print(
+            f"warning: --jobs {spec} clamped to {cap} "
+            f"(4x the {os.cpu_count() or 1} available cores; more workers "
+            "only add scheduler thrash)",
+            file=sys.stderr,
+        )
+        return cap
     return spec
 
 
@@ -66,53 +156,259 @@ def _simulate_cell(payload: Tuple[SystemConfig, Trace, Optional[ProcessorKeys]])
 
 
 class ParallelSweepExecutor:
-    """Ordered, deterministic map over independent simulation work.
+    """Ordered, deterministic, *supervised* map over independent work.
 
     Parameters
     ----------
     jobs:
         Worker-process count (or ``"auto"``).  ``1`` runs everything
-        in-process with zero multiprocessing overhead.
+        in-process with zero multiprocessing overhead (and therefore no
+        supervision — a serial cell can always be interrupted with
+        Ctrl-C).
+    timeout:
+        Per-cell result timeout in seconds; ``None`` (default) waits
+        forever.  A timeout both bounds hung cells and converts a
+        SIGKILL'd/OOM-killed worker's lost task into a retry instead of
+        a forever-hang.
+    retries:
+        How many failed attempts a cell gets *beyond* the first before
+        the executor degrades: crashes and application exceptions are
+        re-run in-process (so real errors propagate with their original
+        type), persistent timeouts raise
+        :class:`~repro.errors.WorkerTimeoutError`.
+    backoff:
+        Base delay between retry rounds, doubled each round and capped
+        at :data:`BACKOFF_CAP`.  ``0`` disables sleeping (tests).
+    maxtasksperchild:
+        Cells a worker executes before being replaced by a fresh
+        process — bounds slow memory growth over multi-hour campaigns.
     chunksize:
-        Cells handed to a worker per dispatch; ``None`` lets the
-        executor pick (~4 dispatches per worker, minimum 1).
+        Accepted for backwards compatibility; the supervised executor
+        dispatches one cell per task so any cell can be individually
+        timed out and retried.
     """
+
+    #: Pools always use the spawn start method: workers import the code
+    #: fresh instead of inheriting the parent's (possibly multi-GiB,
+    #: possibly lock-holding) heap via fork.
+    start_method = "spawn"
 
     def __init__(
         self,
         jobs: Union[int, str, None] = 1,
         chunksize: Optional[int] = None,
+        timeout: Union[float, None, object] = _UNSET,
+        retries: Union[int, object] = _UNSET,
+        backoff: Union[float, object] = _UNSET,
+        maxtasksperchild: Union[int, None, object] = _UNSET,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.chunksize = chunksize
+
+        def pick(name: str, value):
+            return _EXECUTOR_DEFAULTS[name] if value is _UNSET else value
+
+        self.timeout = pick("timeout", timeout)
+        self.retries = max(int(pick("retries", retries)), 0)
+        self.backoff = float(pick("backoff", backoff))
+        self.maxtasksperchild = pick("maxtasksperchild", maxtasksperchild)
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        #: Diagnostics: (cell index, error repr) per failed attempt.
+        self.retry_log: List[Tuple[int, str]] = []
 
     @property
     def is_parallel(self) -> bool:
         return self.jobs > 1
 
-    def _pick_chunksize(self, items: int) -> int:
-        if self.chunksize is not None:
-            return max(self.chunksize, 1)
-        return max(items // (self.jobs * 4), 1)
+    # ------------------------------------------------------------------
+    # The supervised map
+    # ------------------------------------------------------------------
 
-    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(
+        self,
+        func: Callable[[T], R],
+        items: Sequence[T],
+        on_result: Optional[Callable[[int, R], None]] = None,
+    ) -> List[R]:
         """``[func(x) for x in items]``, fanned out when ``jobs > 1``.
 
         ``func`` must be a module-level callable and ``items`` must be
         picklable.  Results come back in submission order regardless of
         which worker finished first — the determinism guarantee every
-        caller relies on.
+        caller relies on.  ``on_result(index, result)`` fires once per
+        cell as its result is harvested (checkpoint journals hook in
+        here); indices may arrive out of order across retry rounds, but
+        every index fires exactly once.
         """
         if not self.is_parallel or len(items) <= 1:
-            return [func(item) for item in items]
-        with multiprocessing.Pool(processes=min(self.jobs, len(items))) as pool:
-            return pool.map(func, items, chunksize=self._pick_chunksize(len(items)))
+            results = []
+            for index, item in enumerate(items):
+                value = func(item)
+                if on_result is not None:
+                    on_result(index, value)
+                results.append(value)
+            return results
+        return self._supervised_map(func, items, on_result)
+
+    def _supervised_map(self, func, items, on_result) -> List[R]:
+        results: List[Optional[R]] = [None] * len(items)
+        done = [False] * len(items)
+        attempts = [0] * len(items)
+        pending = list(range(len(items)))
+        round_number = 0
+
+        def harvest(index: int, value) -> None:
+            results[index] = value
+            done[index] = True
+            if on_result is not None:
+                on_result(index, value)
+
+        while pending:
+            failures = self._dispatch_round(func, items, pending, harvest)
+            retry: List[int] = []
+            for index in pending:
+                if done[index]:
+                    continue
+                error = failures.get(index)
+                if error is None:
+                    # Round aborted before this cell ran: free retry.
+                    retry.append(index)
+                    continue
+                attempts[index] += 1
+                self.retry_log.append((index, repr(error)))
+                if attempts[index] <= self.retries:
+                    retry.append(index)
+                elif isinstance(error, WorkerTimeoutError):
+                    # A cell that hangs every time would hang the
+                    # driver in-process too — abort loudly instead.
+                    raise error
+                else:
+                    # Crash or application exception: degrade to
+                    # in-process serial execution.  A deterministic
+                    # exception re-raises here with its original type;
+                    # an environment-induced crash gets a clean shot.
+                    harvest(index, func(items[index]))
+            pending = [index for index in retry if not done[index]]
+            if pending:
+                round_number += 1
+                if self.backoff > 0:
+                    time.sleep(
+                        min(self.backoff * 2 ** (round_number - 1), BACKOFF_CAP)
+                    )
+        return results  # type: ignore[return-value]
+
+    def _dispatch_round(self, func, items, indices, harvest):
+        """One pool round over ``indices``; returns index -> failure.
+
+        Cells are submitted one task each and harvested in submission
+        order.  An application exception is recorded and harvesting
+        continues; a timeout wedges the round (the hung worker blocks
+        its queue), so already-finished results are drained, everything
+        else is left for the next round, and the pool is torn down —
+        ``terminate()`` kills hung workers where a graceful ``close()``
+        would wait forever.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        failures: Dict[int, BaseException] = {}
+        pool = context.Pool(
+            processes=min(self.jobs, len(indices)),
+            maxtasksperchild=self.maxtasksperchild,
+        )
+        try:
+            worker_pids = self._worker_pids(pool)
+            handles = [
+                (index, pool.apply_async(func, (items[index],)))
+                for index in indices
+            ]
+            timed_out = False
+            for index, handle in handles:
+                if timed_out:
+                    # Drain whatever already finished; do not wait.
+                    if handle.ready():
+                        try:
+                            harvest(index, handle.get(0))
+                        except Exception as exc:  # noqa: BLE001
+                            failures[index] = exc
+                    continue
+                try:
+                    value = self._wait(handle)
+                except multiprocessing.TimeoutError:
+                    failures[index] = self._classify_timeout(
+                        index, pool, worker_pids
+                    )
+                    timed_out = True
+                except Exception as exc:  # noqa: BLE001 — app-level error
+                    failures[index] = exc
+                else:
+                    harvest(index, value)
+        finally:
+            pool.terminate()
+            pool.join()
+        return failures
+
+    def _wait(self, handle):
+        """Wait for one AsyncResult, honoring the per-cell timeout.
+
+        Waits in short slices so Ctrl-C stays responsive even on
+        platforms where ``AsyncResult.get`` blocks uninterruptibly.
+        """
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        while True:
+            if handle.ready():
+                return handle.get(0)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError()
+                handle.wait(min(_POLL_SECONDS, remaining))
+            else:
+                handle.wait(_POLL_SECONDS)
+
+    @staticmethod
+    def _worker_pids(pool) -> Optional[frozenset]:
+        """Best-effort snapshot of the pool's worker pids.
+
+        Uses the pool's private worker list — stable across CPython
+        3.8–3.13 but guarded anyway; ``None`` disables the crash/hang
+        distinction and timeouts are reported as timeouts.
+        """
+        try:
+            return frozenset(proc.pid for proc in pool._pool)
+        except Exception:  # noqa: BLE001 — diagnostics only
+            return None
+
+    def _classify_timeout(self, index, pool, before):
+        """Was this a hang or a dead worker?  (Heuristic, for messages.)
+
+        A SIGKILL'd/OOM-killed worker is replaced by the pool, so the
+        worker-pid set changes; a genuinely hung worker keeps its pid.
+        ``maxtasksperchild`` recycling can also change pids, so this
+        only picks the error *message* — both classes are retried the
+        same way.
+        """
+        after = self._worker_pids(pool)
+        if before is not None and after is not None and after != before:
+            return WorkerCrashError(
+                f"worker running cell {index} died (worker set changed "
+                f"while waiting; task lost) — retrying in a fresh pool"
+            )
+        return WorkerTimeoutError(
+            f"cell {index} produced no result within {self.timeout}s"
+        )
+
+    # ------------------------------------------------------------------
+    # Domain convenience
+    # ------------------------------------------------------------------
 
     def run_simulations(
         self,
         cells: Sequence[SimCell],
         keys: Optional[ProcessorKeys] = None,
+        on_result: Optional[Callable[[int, SimulationResult], None]] = None,
     ) -> List[SimulationResult]:
         """Run every (config, trace) cell; results in cell order."""
         payloads = [(config, trace, keys) for config, trace in cells]
-        return self.map(_simulate_cell, payloads)
+        return self.map(_simulate_cell, payloads, on_result=on_result)

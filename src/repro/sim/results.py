@@ -48,6 +48,29 @@ class SimulationResult:
             return 0.0
         return max(self.nvm_writes / data_writes - 1.0, 0.0)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form, exact-round-trippable via :meth:`from_dict`.
+
+        Used by the checkpoint journal: a resumed sweep deserializes
+        journaled cells back into results indistinguishable from
+        freshly computed ones.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme.value,
+            "elapsed_ns": self.elapsed_ns,
+            "requests": self.requests,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        record = dict(payload)
+        record["scheme"] = SchemeKind(record["scheme"])
+        record["stats"] = dict(record.get("stats") or {})
+        return cls(**record)
+
     def __repr__(self) -> str:
         return (
             f"SimulationResult({self.benchmark}/{self.scheme.value}: "

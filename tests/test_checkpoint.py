@@ -1,0 +1,199 @@
+"""The checkpoint layer's promises: atomic, validated, resumable.
+
+Artifacts either load exactly as written or raise
+:class:`ArtifactCorruptError` — never a silently truncated result.  The
+journal survives a torn final line (the only damage a crash mid-append
+can inflict) but refuses real corruption and mismatched work.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.config import SchemeKind
+from repro.errors import ArtifactCorruptError, CheckpointMismatchError
+from repro.sim.checkpoint import (
+    CheckpointJournal,
+    atomic_write_json,
+    canonical_json,
+    cell_fingerprint,
+    fingerprint,
+    load_artifact,
+    plain,
+    trace_fingerprint,
+    write_artifact,
+)
+from repro.sim.results import SimulationResult
+from repro.traces.profiles import profile
+from repro.traces.synthetic import generate_trace
+
+from tests.helpers import small_config
+
+
+class TestFingerprints:
+    def test_stable_across_calls(self):
+        config = small_config()
+        assert fingerprint(config, 3) == fingerprint(config, 3)
+
+    def test_sensitive_to_every_part(self):
+        config = small_config()
+        base = fingerprint(config, 3)
+        assert fingerprint(config, 4) != base
+        assert fingerprint(small_config(SchemeKind.OSIRIS), 3) != base
+
+    def test_plain_handles_the_harness_types(self):
+        config = small_config()
+        encoded = plain(
+            {"config": config, "blob": b"\x00\xff", "kind": SchemeKind.OSIRIS}
+        )
+        # Must survive a JSON round trip unchanged.
+        assert json.loads(json.dumps(encoded)) == encoded
+
+    def test_plain_rejects_unserializable(self):
+        with pytest.raises(TypeError):
+            canonical_json(object())
+
+    def test_trace_fingerprint_tracks_content(self):
+        a = generate_trace(profile("gcc"), 50, seed=1)
+        b = generate_trace(profile("gcc"), 50, seed=2)
+        assert trace_fingerprint(a) == trace_fingerprint(
+            generate_trace(profile("gcc"), 50, seed=1)
+        )
+        assert trace_fingerprint(a) != trace_fingerprint(b)
+
+    def test_cell_fingerprint_keys_config_trace_seed(self):
+        config = small_config()
+        trace = generate_trace(profile("gcc"), 50, seed=1)
+        base = cell_fingerprint(config, trace, seed=0)
+        assert cell_fingerprint(config, trace, seed=0) == base
+        assert cell_fingerprint(config, trace, seed=1) != base
+        assert (
+            cell_fingerprint(small_config(SchemeKind.OSIRIS), trace, seed=0)
+            != base
+        )
+
+
+class TestAtomicArtifacts:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        payload = {"numbers": [1, 2.5], "name": "fig07"}
+        write_artifact(path, payload, kind="test")
+        assert load_artifact(path, kind="test") == payload
+
+    def test_write_is_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        write_artifact(a, {"x": 1.25}, kind="test")
+        write_artifact(b, {"x": 1.25}, kind="test")
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        atomic_write_json(path, {"ok": True})
+        write_artifact(path, {"ok": True}, kind="test")
+        assert os.listdir(tmp_path) == ["result.json"]
+
+    def test_tampered_payload_detected(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        write_artifact(path, {"value": 41}, kind="test")
+        text = open(path).read().replace("41", "42")
+        open(path, "w").write(text)
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_artifact(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        write_artifact(path, {"value": list(range(100))}, kind="test")
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactCorruptError, match="JSON"):
+            load_artifact(path)
+
+    def test_wrong_kind_detected(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        write_artifact(path, {}, kind="fault-campaign")
+        with pytest.raises(ArtifactCorruptError, match="expected"):
+            load_artifact(path, kind="experiment-results")
+
+    def test_not_an_artifact_detected(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        open(path, "w").write('{"just": "json"}')
+        with pytest.raises(ArtifactCorruptError, match="envelope"):
+            load_artifact(path)
+
+
+class TestJournal:
+    def test_records_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with CheckpointJournal(path, "work1") as journal:
+            journal.record("trial:0", {"outcome": "RECOVERED"})
+            journal.record("trial:1", {"outcome": "DETECTED"})
+        with CheckpointJournal(path, "work1") as journal:
+            assert len(journal) == 2
+            assert journal.get("trial:0") == {"outcome": "RECOVERED"}
+            assert "trial:1" in journal
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with CheckpointJournal(path, "work1") as journal:
+            journal.record("trial:0", {"n": 1})
+            journal.record("trial:0", {"n": 999})  # ignored: already done
+            assert journal.get("trial:0") == {"n": 1}
+
+    def test_torn_final_line_dropped_and_append_continues(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with CheckpointJournal(path, "work1") as journal:
+            journal.record("trial:0", {"n": 0})
+        with open(path, "ab") as stream:
+            stream.write(b'{"key":"trial:1","payl')  # crash mid-append
+        with CheckpointJournal(path, "work1") as journal:
+            assert len(journal) == 1
+            journal.record("trial:1", {"n": 1})
+        with CheckpointJournal(path, "work1") as journal:
+            assert journal.get("trial:1") == {"n": 1}
+
+    def test_corrupt_middle_record_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with CheckpointJournal(path, "work1") as journal:
+            journal.record("trial:0", {"n": 0})
+            journal.record("trial:1", {"n": 1})
+        lines = open(path, "rb").read().splitlines()
+        lines[1] = lines[1].replace(b'"n":0', b'"n":7')  # bad checksum now
+        open(path, "wb").write(b"\n".join(lines) + b"\n")
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            CheckpointJournal(path, "work1")
+
+    def test_wrong_work_fingerprint_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        CheckpointJournal(path, "work1").close()
+        with pytest.raises(CheckpointMismatchError, match="different work"):
+            CheckpointJournal(path, "work2")
+
+    def test_foreign_file_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        open(path, "w").write('{"some": "other file"}\n{"x": 1}\n')
+        with pytest.raises(ArtifactCorruptError, match="not a checkpoint"):
+            CheckpointJournal(path, "work1")
+
+    def test_torn_header_recovers(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        open(path, "wb").write(b'{"journal":"repro-chec')  # torn header
+        with CheckpointJournal(path, "work1") as journal:
+            journal.record("trial:0", {"n": 0})
+        with CheckpointJournal(path, "work1") as journal:
+            assert journal.get("trial:0") == {"n": 0}
+
+
+class TestSimulationResultRoundTrip:
+    def test_to_dict_from_dict_exact(self):
+        result = SimulationResult(
+            benchmark="gcc",
+            scheme=SchemeKind.AGIT_PLUS,
+            elapsed_ns=123456.75,
+            requests=800,
+            stats={"nvm.writes": 42.0, "counter_cache.hit_rate": 0.9375},
+        )
+        clone = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone == result

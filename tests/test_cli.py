@@ -109,3 +109,53 @@ class TestExperimentsPassthrough:
     def test_forwards_to_runner(self, capsys):
         assert main(["experiments", "fig05"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+_FAULT_ARGS = ["--trials", "8", "--length", "300", "--crash-points", "2"]
+
+
+class TestFaultsExitCodes:
+    def test_protected_scheme_exits_zero(self, capsys):
+        assert main(["faults", *_FAULT_ARGS]) == 0
+
+    def test_silent_corruption_exits_three(self, capsys):
+        from repro.cli import EXIT_SILENT_CORRUPTION
+
+        code = main(
+            ["faults", "--scheme", "write_back", "--trials", "12",
+             "--length", "300", "--crash-points", "2"]
+        )
+        assert code == EXIT_SILENT_CORRUPTION
+        assert "silent-corruption" in capsys.readouterr().err
+
+    def test_allow_silent_suppresses_the_failure(self, capsys):
+        code = main(
+            ["faults", "--scheme", "write_back", "--trials", "12",
+             "--length", "300", "--crash-points", "2", "--allow-silent"]
+        )
+        assert code == 0
+
+
+class TestFaultsResume:
+    def test_resume_artifact_matches_clean_run(self, tmp_path, capsys):
+        from repro.sim.checkpoint import load_artifact
+
+        clean = tmp_path / "clean"
+        victim = tmp_path / "victim"
+        assert main(["faults", *_FAULT_ARGS, "--resume", str(clean)]) == 0
+
+        # First attempt "crashes" after a few trials: keep the journal
+        # header plus 3 records and a torn tail.
+        assert main(["faults", *_FAULT_ARGS, "--resume", str(victim)]) == 0
+        journal = victim / "campaign.jsonl"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        journal.write_bytes(b"".join(lines[:4]) + b'{"key":"trial:9')
+
+        assert main(["faults", *_FAULT_ARGS, "--resume", str(victim)]) == 0
+        assert (clean / "campaign.json").read_bytes() == (
+            victim / "campaign.json"
+        ).read_bytes()
+        payload = load_artifact(
+            str(victim / "campaign.json"), kind="fault-campaign"
+        )
+        assert len(payload["trials"]) == 8

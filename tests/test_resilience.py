@@ -1,0 +1,203 @@
+"""The resilient execution layer's failure paths.
+
+Workers that raise, hang, or die must never cost completed work or
+change results: retries and fallbacks re-run the same deterministic
+cells, and a resumed campaign is byte-identical to an uninterrupted
+one at any ``--jobs`` count.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.config import SchemeKind, TreeKind
+from repro.errors import CheckpointMismatchError, WorkerTimeoutError
+from repro.faults.campaign import (
+    CampaignConfig,
+    campaign_fingerprint,
+    open_campaign_journal,
+    run_campaign,
+)
+from repro.sim.parallel import (
+    ParallelSweepExecutor,
+    max_reasonable_jobs,
+    resolve_jobs,
+)
+
+from tests.helpers import small_config
+
+
+# ----------------------------------------------------------------------
+# Module-level workers (spawn pools import this module by name)
+# ----------------------------------------------------------------------
+
+def _double(value):
+    return value * 2
+
+
+def _explode_on(value):
+    if value == 3:
+        raise ValueError("cell 3 is cursed")
+    return value
+
+
+def _sleep_for(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _die_once(sentinel):
+    """SIGKILL this worker on first sight of the sentinel; then succeed."""
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "survived"
+
+
+# ----------------------------------------------------------------------
+# resolve_jobs hardening
+# ----------------------------------------------------------------------
+
+class TestResolveJobsHardening:
+    def test_integral_floats_accepted(self):
+        assert resolve_jobs(2.0) == 2
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ValueError, match="whole number"):
+            resolve_jobs(2.5)
+
+    def test_fractional_strings_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_jobs("2.5")
+
+    def test_absurd_counts_clamped_with_warning(self, capsys):
+        resolved = resolve_jobs(10**6)
+        assert resolved == max_reasonable_jobs()
+        assert "clamped" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+
+class TestSupervision:
+    def test_worker_exception_propagates_with_original_type(self):
+        executor = ParallelSweepExecutor(2, retries=1, backoff=0)
+        with pytest.raises(ValueError, match="cursed"):
+            executor.map(_explode_on, [1, 2, 3, 4])
+        # The failure was retried in workers before the in-process
+        # fallback re-raised it.
+        assert executor.retry_log
+
+    def test_healthy_cells_unaffected_by_a_failing_sibling(self):
+        executor = ParallelSweepExecutor(2, retries=0, backoff=0)
+        with pytest.raises(ValueError):
+            executor.map(_explode_on, [1, 2, 3, 4])
+
+    def test_hang_past_timeout_raises_worker_timeout(self):
+        executor = ParallelSweepExecutor(2, timeout=0.8, retries=0, backoff=0)
+        with pytest.raises(WorkerTimeoutError, match="no result within"):
+            executor.map(_sleep_for, [0.01, 60.0])
+
+    def test_sigkilled_worker_is_retried_to_success(self, tmp_path):
+        sentinel = str(tmp_path / "died-once")
+        # The kill is instant; the timeout only bounds how fast the
+        # supervisor notices the lost task.
+        executor = ParallelSweepExecutor(2, timeout=4.0, retries=2, backoff=0)
+        results = executor.map(_die_once, [sentinel, sentinel])
+        assert results == ["survived", "survived"]
+        assert executor.retry_log  # the kill was observed and retried
+
+    def test_results_keep_submission_order_across_retries(self):
+        executor = ParallelSweepExecutor(3, retries=0, backoff=0)
+        assert executor.map(_double, list(range(8))) == [
+            2 * n for n in range(8)
+        ]
+
+    def test_on_result_fires_once_per_cell(self):
+        seen = {}
+        executor = ParallelSweepExecutor(2, retries=0, backoff=0)
+        executor.map(
+            _double, [5, 6, 7], on_result=lambda i, r: seen.setdefault(i, r)
+        )
+        assert seen == {0: 10, 1: 12, 2: 14}
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ParallelSweepExecutor(2, timeout=0)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume determinism
+# ----------------------------------------------------------------------
+
+def _campaign(seed=0):
+    return CampaignConfig(
+        system=small_config(SchemeKind.AGIT_PLUS, TreeKind.BONSAI),
+        seed=seed,
+        trials=10,
+        trace_length=250,
+        num_crash_points=2,
+        probe_reads=2,
+    )
+
+
+def _interrupt(journal_path, keep_records):
+    """Rewrite the journal as a crash would leave it: the header, the
+    first ``keep_records`` records, and a torn half-written line."""
+    lines = open(journal_path, "rb").read().splitlines(keepends=True)
+    with open(journal_path, "wb") as stream:
+        stream.writelines(lines[: 1 + keep_records])
+        stream.write(b'{"key":"trial:99","payload":{"tor')
+
+
+class TestResumeDeterminism:
+    def test_resume_identical_at_every_jobs_count(self, tmp_path):
+        golden = run_campaign(_campaign()).to_dict()
+        golden_bytes = json.dumps(golden, indent=2, sort_keys=True)
+        for jobs in (1, 2, 4):
+            directory = str(tmp_path / f"jobs{jobs}")
+            # First attempt gets interrupted after 4 journaled trials...
+            run_campaign(_campaign(), checkpoint_dir=directory)
+            _interrupt(os.path.join(directory, "campaign.jsonl"), 4)
+            # ...the re-run with --resume finishes the remaining work.
+            resumed = run_campaign(
+                _campaign(), jobs=jobs, checkpoint_dir=directory
+            )
+            assert resumed.to_dict() == golden
+            assert (
+                json.dumps(resumed.to_dict(), indent=2, sort_keys=True)
+                == golden_bytes
+            )
+
+    def test_completed_journal_resumes_without_rerunning(self, tmp_path):
+        directory = str(tmp_path / "done")
+        first = run_campaign(_campaign(), checkpoint_dir=directory)
+        again = run_campaign(_campaign(), checkpoint_dir=directory)
+        assert again.to_dict() == first.to_dict()
+
+    def test_journal_refuses_a_different_campaign(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        run_campaign(_campaign(seed=0), checkpoint_dir=directory)
+        with pytest.raises(CheckpointMismatchError):
+            run_campaign(_campaign(seed=1), checkpoint_dir=directory)
+
+    def test_fingerprint_ignores_execution_knobs(self):
+        assert campaign_fingerprint(_campaign()) == campaign_fingerprint(
+            _campaign()
+        )
+        assert campaign_fingerprint(_campaign(seed=1)) != campaign_fingerprint(
+            _campaign()
+        )
+
+    def test_open_campaign_journal_reopens(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        journal = open_campaign_journal(directory, _campaign())
+        journal.record("trial:0", {"probe": True})
+        journal.close()
+        reopened = open_campaign_journal(directory, _campaign())
+        assert reopened.get("trial:0") == {"probe": True}
+        reopened.close()
