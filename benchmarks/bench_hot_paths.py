@@ -92,6 +92,56 @@ def _time_per_op(func: Callable[[int], None], iterations: int) -> float:
     return best * 1e9
 
 
+def bench_telemetry(trace_length: int = 4_000, repeats: int = 3) -> Dict:
+    """Instrumented-vs-bare A/B for the telemetry layer.
+
+    The simulator is permanently instrumented; "bare" means no session
+    installed, so every emit site costs one ``NULL_TRACER.enabled``
+    attribute test.  Measures a full simulation with telemetry off and
+    on (best of ``repeats``), plus the per-site guard cost in
+    isolation.
+    """
+    from repro.config import SchemeKind, default_table1_config
+    from repro.sim.engine import run_simulation
+    from repro.telemetry import NULL_TRACER, TelemetrySpec
+    from repro.traces.profiles import profile
+    from repro.traces.synthetic import generate_trace
+
+    config = default_table1_config(SchemeKind.AGIT_PLUS)
+    trace = generate_trace(profile("gcc"), trace_length, seed=0)
+    keys = ProcessorKeys(0)
+
+    def per_access_ns(telemetry) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_simulation(config, trace, keys, telemetry=telemetry)
+            best = min(best, time.perf_counter() - start)
+        return best * 1e9 / trace_length
+
+    disabled = per_access_ns(None)
+    enabled = per_access_ns(TelemetrySpec())
+
+    tracer = NULL_TRACER
+
+    def guarded(i: int) -> None:
+        if tracer.enabled:
+            tracer.emit("mem.access", op="read", address=i)
+
+    def bare(i: int) -> None:
+        pass
+
+    guard_ns = _time_per_op(guarded, 100_000) - _time_per_op(bare, 100_000)
+
+    return {
+        "trace_length": trace_length,
+        "disabled_ns_per_access": disabled,
+        "enabled_ns_per_access": enabled,
+        "enabled_overhead_fraction": enabled / disabled - 1.0,
+        "null_guard_ns": max(guard_ns, 0.0),
+    }
+
+
 def run_benchmarks(iterations: int = 20_000) -> Dict:
     """Measure every hot path; returns the JSON-ready result dict."""
     keys = ProcessorKeys(0)
@@ -157,6 +207,7 @@ def run_benchmarks(iterations: int = 20_000) -> Dict:
             "decrypt_hot": results["decrypt_hot_ns"],
         },
         "speedups": speedups,
+        "telemetry": bench_telemetry(),
     }
 
 
@@ -180,6 +231,11 @@ def main(argv=None) -> int:
         help="required encrypt/decrypt (hot) and XOR speedup in "
         "check mode (default: 5.0)",
     )
+    parser.add_argument(
+        "--max-telemetry-overhead", type=float, default=0.03,
+        help="check mode: fail when a telemetry-enabled simulation is "
+        "more than this fraction slower than a bare one (default: 0.03)",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmarks(args.iterations)
@@ -189,6 +245,12 @@ def main(argv=None) -> int:
     print(f"hot-path benchmark written to {args.json}")
     for name, value in sorted(report["speedups"].items()):
         print(f"  speedup {name:<12}: {value:6.1f}x")
+    telemetry = report["telemetry"]
+    print(
+        "  telemetry overhead : "
+        f"{telemetry['enabled_overhead_fraction'] * 100.0:+.1f}% enabled, "
+        f"{telemetry['null_guard_ns']:.0f}ns/site disabled guard"
+    )
 
     if args.check:
         failures = [
@@ -205,7 +267,18 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
-        print(f"check OK: all hot paths >= {args.min_speedup:.1f}x")
+        if telemetry["enabled_overhead_fraction"] >= args.max_telemetry_overhead:
+            print(
+                "FAIL: telemetry-enabled simulation overhead "
+                f"{telemetry['enabled_overhead_fraction'] * 100.0:.1f}% "
+                f">= {args.max_telemetry_overhead * 100.0:.1f}% budget",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"check OK: all hot paths >= {args.min_speedup:.1f}x, "
+            "telemetry within budget"
+        )
     return 0
 
 

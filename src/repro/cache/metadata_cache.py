@@ -13,6 +13,7 @@ from typing import Any, Optional, Tuple
 
 from repro.cache.sa_cache import Eviction, SetAssociativeCache
 from repro.config import CacheConfig
+from repro.telemetry.runtime import current_tracer
 from repro.util.stats import StatGroup
 
 
@@ -28,6 +29,7 @@ class MetadataCache:
         self.cache = SetAssociativeCache(config, name)
         self.name = name
         self.stats = stats if stats is not None else StatGroup(name)
+        self.tracer = current_tracer()
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
         self._evict_clean = self.stats.counter("evictions_clean")
@@ -44,8 +46,18 @@ class MetadataCache:
         payload = self.cache.lookup(address)
         if payload is None:
             self._misses.add()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cache.miss", cache=self.name, address=address
+                )
         else:
             self._hits.add()
+            # Hits dominate every trace; emit them only at detail level
+            # so default traces (and enabled-mode overhead) stay bounded.
+            if self.tracer.enabled and self.tracer.detail:
+                self.tracer.emit(
+                    "cache.hit", cache=self.name, address=address
+                )
         return payload
 
     def fill(
@@ -58,6 +70,13 @@ class MetadataCache:
                 self._evict_dirty.add()
             else:
                 self._evict_clean.add()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cache.evict",
+                    cache=self.name,
+                    address=eviction.address,
+                    dirty=eviction.dirty,
+                )
         return slot, eviction
 
     def mark_dirty(self, address: int) -> bool:

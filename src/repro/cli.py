@@ -6,6 +6,10 @@ Commands:
   implied by a scheme/tree/capacity choice;
 * ``simulate`` — replay a SPEC-like workload under a scheme and print
   the run summary (time, traffic, cache behaviour);
+* ``stats`` — replay a workload with telemetry enabled and print the
+  full metric table (counts, means, p50/p95/max) plus per-kind event
+  counts; ``--metrics-out``/``--trace-out`` write machine-readable
+  snapshots;
 * ``crash-demo`` — write a workload, inject a power failure, run the
   matching recovery engine, and report the outcome;
 * ``faults`` — run a deterministic fault-injection campaign (crash
@@ -116,7 +120,97 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.sim.checkpoint import atomic_write_json, fingerprint
+    from repro.telemetry.events import write_jsonl
+    from repro.telemetry.runtime import (
+        RunCollector,
+        TelemetrySpec,
+        build_manifest,
+        write_manifest,
+    )
+
+    config, keys = _resolve_system(args)
+    trace = generate_trace(
+        profile(args.workload), args.length, seed=args.seed
+    )
+    spec = TelemetrySpec(events=True, detail=args.detail)
+    result = run_simulation(config, trace, keys, telemetry=spec)
+
+    # Persist outputs before printing: a reader truncating stdout
+    # (``| head``) must not cost the caller their files.
+    collector = RunCollector()
+    collector.absorb(result)
+    if args.trace_out:
+        with open(args.trace_out, "w") as stream:
+            trace_lines = write_jsonl(collector.events, stream)
+    if args.metrics_out:
+        atomic_write_json(
+            args.metrics_out, collector.metrics_snapshot([result])
+        )
+        write_manifest(
+            args.metrics_out + ".manifest.json",
+            build_manifest(
+                command="stats",
+                config_fingerprint=fingerprint(
+                    "stats", config, args.workload, args.length, args.seed
+                ),
+                seed=args.seed,
+                arguments={
+                    "workload": args.workload,
+                    "length": args.length,
+                    "detail": args.detail,
+                },
+                collector=collector,
+                outputs={"metrics": args.metrics_out},
+            ),
+        )
+
+    print(f"workload       : {trace}")
+    print(f"scheme         : {config.scheme.value} ({config.tree.value})")
+    print(f"elapsed        : {result.elapsed_ns / 1e6:.3f} ms "
+          f"({result.ns_per_access:.1f} ns/access)")
+    print("\nmetrics:")
+    width = max(len(key) for key in result.stats) if result.stats else 0
+    for key in sorted(result.stats):
+        value = result.stats[key]
+        rendered = f"{value:,.4f}" if value % 1 else f"{int(value):,}"
+        print(f"  {key:<{width}} {rendered}")
+    kinds: dict = {}
+    for event in result.events or []:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    print(f"\nevents ({len(result.events or [])} total"
+          + (", detail on" if args.detail else "") + "):")
+    for kind in sorted(kinds):
+        print(f"  {kind:<24} {kinds[kind]:,}")
+    if result.telemetry and result.telemetry.get("dropped_events"):
+        print(f"  [buffer overflowed: "
+              f"{result.telemetry['dropped_events']:,} events dropped]")
+
+    if args.trace_out:
+        print(f"\n{trace_lines:,} events written to {args.trace_out}")
+    if args.metrics_out:
+        print(f"metrics snapshot written to {args.metrics_out}")
+    return 0
+
+
 def _command_crash_demo(args: argparse.Namespace) -> int:
+    from repro.telemetry.events import write_jsonl
+    from repro.telemetry.runtime import TelemetrySpec, session
+
+    if args.trace_out:
+        # Record the whole demo — replay, power failure, recovery — as
+        # one event stream; recovery steps ride the 100ns step model.
+        with session(TelemetrySpec(events=True)) as active:
+            status = _crash_demo_body(args)
+        with open(args.trace_out, "w") as stream:
+            lines = write_jsonl(active.tracer.events(), stream)
+        print(f"{lines:,} telemetry events written to {args.trace_out}")
+        return status
+    return _crash_demo_body(args)
+
+
+def _crash_demo_body(args: argparse.Namespace) -> int:
     from repro.core.recovery_agit import AgitRecovery
     from repro.core.recovery_asit import AsitRecovery
     from repro.recovery.crash import crash, reincarnate
@@ -297,6 +391,33 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--length", type=int, default=10_000)
     simulate.set_defaults(handler=_command_simulate)
 
+    stats = commands.add_parser(
+        "stats",
+        help="replay a workload with telemetry on; print the metric table",
+    )
+    _add_system_arguments(stats)
+    stats.add_argument("--workload", choices=profile_names(), default="gcc")
+    stats.add_argument("--length", type=int, default=10_000)
+    stats.add_argument(
+        "--detail",
+        action="store_true",
+        help="also record high-frequency events (cache hits, integrity "
+        "checks)",
+    )
+    stats.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the structured event stream as JSONL",
+    )
+    stats.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics snapshot (and PATH.manifest.json)",
+    )
+    stats.set_defaults(handler=_command_stats)
+
     demo = commands.add_parser(
         "crash-demo", help="workload -> power failure -> recovery"
     )
@@ -305,6 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--length", type=int, default=5_000)
     demo.add_argument(
         "--verify", type=int, default=500, help="lines to read back"
+    )
+    demo.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record the demo (replay, crash, recovery) as JSONL events",
     )
     demo.set_defaults(handler=_command_crash_demo)
 
@@ -436,6 +563,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except BrokenPipeError:
+        # The reader (``| head``) closed stdout early; output files are
+        # written before any printing, so nothing was lost.
+        sys.stderr.close()
+        return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

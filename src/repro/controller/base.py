@@ -28,6 +28,7 @@ from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
 from repro.mem.timing import MemoryChannel
 from repro.mem.wpq import PersistentRegisters, WritePendingQueue
+from repro.telemetry.runtime import current_tracer
 from repro.util.stats import StatGroup
 
 #: Bytes of the per-line sideband blob: SECDED code then truncated MAC.
@@ -48,6 +49,10 @@ class SecureMemoryController(abc.ABC):
         self.layout = layout
         self.keys = keys if keys is not None else ProcessorKeys()
         self.stats = StatGroup("ctrl")
+        #: Bound once at construction: with no telemetry session this is
+        #: the shared NULL_TRACER and every emission site reduces to one
+        #: ``enabled`` check.
+        self.tracer = current_tracer()
         self.channel = MemoryChannel(config.timing, self.stats)
         self.nvm = nvm if nvm is not None else NvmDevice(layout.total_size)
         self.wpq = WritePendingQueue(
@@ -77,7 +82,17 @@ class SecureMemoryController(abc.ABC):
     def access(self, request: MemoryRequest) -> Optional[bytes]:
         """Run one request through the controller; returns read data."""
         self.channel.advance(request.gap_ns)
+        if self.tracer.enabled:
+            # Event timestamps use the *simulated* clock, so traces are
+            # identical across worker counts and reruns.
+            self.tracer.now = self.channel.elapsed_ns
         self.wpq.drain_opportunistic()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "mem.access",
+                op=request.op.value,
+                address=request.address,
+            )
         if request.op == Op.READ:
             return self.read(request.address)
         self.write(request.address, request.data)
@@ -237,9 +252,17 @@ class SecureMemoryController(abc.ABC):
         self._persist_writes.add()
         self.wpq.insert(address, block)
 
-    def shadow_write(self, address: int, block: bytes) -> None:
-        """Push one Anubis shadow-table block into the persistent domain."""
+    def shadow_write(
+        self, address: int, block: bytes, table: str = "shadow"
+    ) -> None:
+        """Push one Anubis shadow-table block into the persistent domain.
+
+        ``table`` names which structure is updated ("sct"/"smt"/"st") —
+        purely for the event stream and write-amplification breakdowns.
+        """
         self._shadow_writes.add()
+        if self.tracer.enabled:
+            self.tracer.emit("shadow.update", table=table, address=address)
         self.wpq.insert(address, block)
 
     # ------------------------------------------------------------------

@@ -57,12 +57,16 @@ class _AgitBase(BonsaiController):
     def _track_counter(self, slot: int, address: int) -> None:
         """Persist 'counter-cache slot now holds ``address``' to the SCT."""
         group, block = self.sct.record(slot, address)
-        self.shadow_write(self.layout.sct.block_address(group), block)
+        self.shadow_write(
+            self.layout.sct.block_address(group), block, table="sct"
+        )
 
     def _track_merkle(self, slot: int, address: int) -> None:
         """Persist 'Merkle-cache slot now holds ``address``' to the SMT."""
         group, block = self.smt.record(slot, address)
-        self.shadow_write(self.layout.smt.block_address(group), block)
+        self.shadow_write(
+            self.layout.smt.block_address(group), block, table="smt"
+        )
 
 
 class AgitReadController(_AgitBase):

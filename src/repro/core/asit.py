@@ -69,7 +69,9 @@ class AsitController(SgxController):
         """Persist one ST entry and fold it into the shadow tree."""
         self.st_entries[slot] = entry
         raw = entry.to_bytes()
-        self.shadow_write(self.layout.st_entry_address(slot), raw)
+        self.shadow_write(
+            self.layout.st_entry_address(slot), raw, table="st"
+        )
         # The shadow-region tree hashes ride the background hash engine
         # (they gate nothing the core waits for), so they cost traffic
         # bookkeeping only, not core stall time.

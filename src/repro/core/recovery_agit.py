@@ -34,6 +34,7 @@ from repro.errors import RootMismatchError, UnrecoverableError
 from repro.mem.ecc import ECC_BYTES, SecdedCodec
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
+from repro.telemetry.runtime import current_tracer, span
 
 
 @dataclass
@@ -84,6 +85,11 @@ class AgitRecovery:
         self.ctr = CounterModeEngine(controller.keys)
         self.codec = SecdedCodec()
         self.stop_loss = self.config.encryption.stop_loss_limit
+        self.tracer = current_tracer()
+
+    def _step_ns(self, report: AgitRecoveryReport) -> float:
+        """Event timestamp under the paper's 100ns-per-step model."""
+        return report.estimated_ns()
 
     # ------------------------------------------------------------------
     # shadow-table scan
@@ -272,16 +278,40 @@ class AgitRecovery:
     def run(self) -> AgitRecoveryReport:
         """Execute Algorithm 1; raises on an unrecoverable state."""
         report = AgitRecoveryReport()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("recovery.begin", ns=0.0, engine="agit")
 
-        tracked_counters = self._read_shadow_region(self.layout.sct, report)
-        tracked_nodes = self._read_shadow_region(self.layout.smt, report)
-        self._validate_tracked(tracked_counters, "SCT")
-        self._validate_tracked(tracked_nodes, "SMT")
+        with span("recovery.agit.scan"):
+            tracked_counters = self._read_shadow_region(
+                self.layout.sct, report
+            )
+            tracked_nodes = self._read_shadow_region(self.layout.smt, report)
+            self._validate_tracked(tracked_counters, "SCT")
+            self._validate_tracked(tracked_nodes, "SMT")
         report.tracked_counter_blocks = len(tracked_counters)
         report.tracked_tree_nodes = len(tracked_nodes)
+        if tracer.enabled:
+            tracer.emit(
+                "recovery.step",
+                ns=self._step_ns(report),
+                engine="agit",
+                step="scan_shadow",
+                tracked_counters=report.tracked_counter_blocks,
+                tracked_nodes=report.tracked_tree_nodes,
+            )
 
-        for counter_address in sorted(tracked_counters):
-            self._repair_counter_block(counter_address, report)
+        with span("recovery.agit.repair_counters"):
+            for counter_address in sorted(tracked_counters):
+                self._repair_counter_block(counter_address, report)
+                if tracer.enabled:
+                    tracer.emit(
+                        "recovery.step",
+                        ns=self._step_ns(report),
+                        engine="agit",
+                        step="repair_counter",
+                        address=counter_address,
+                    )
 
         # Every repaired counter block's ancestors must be recomputed
         # even if the SMT missed them (it cannot, but recovery must not
@@ -289,14 +319,37 @@ class AgitRecovery:
         all_nodes = set(tracked_nodes)
         for counter_address in tracked_counters:
             all_nodes.update(self.layout.ancestors_of_counter(counter_address))
-        self._rebuild_nodes(all_nodes, report)
+        with span("recovery.agit.rebuild_nodes"):
+            self._rebuild_nodes(all_nodes, report)
+        if tracer.enabled:
+            tracer.emit(
+                "recovery.step",
+                ns=self._step_ns(report),
+                engine="agit",
+                step="rebuild_nodes",
+                nodes=report.nodes_rebuilt,
+            )
 
-        rebuilt_root = self.engine.rebuild_root(self._counted_reader(report))
-        report.hash_ops += 8
-        report.root_matched = rebuilt_root == self.controller.engine.root_node
+        with span("recovery.agit.verify_root"):
+            rebuilt_root = self.engine.rebuild_root(
+                self._counted_reader(report)
+            )
+            report.hash_ops += 8
+            report.root_matched = (
+                rebuilt_root == self.controller.engine.root_node
+            )
         if not report.root_matched:
             raise RootMismatchError(
                 "AGIT recovery failed: reconstructed root does not match "
                 "the on-chip root — the system is unrecoverable"
+            )
+        if tracer.enabled:
+            tracer.emit(
+                "recovery.end",
+                ns=self._step_ns(report),
+                engine="agit",
+                ok=True,
+                counters_repaired=report.counters_repaired,
+                nodes_rebuilt=report.nodes_rebuilt,
             )
         return report

@@ -31,6 +31,7 @@ from repro.counters.sgx import SgxCounterBlock
 from repro.errors import MacMismatchError, UnrecoverableError
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
+from repro.telemetry.runtime import current_tracer, span
 
 
 @dataclass
@@ -72,6 +73,11 @@ class AsitRecovery:
         self.engine = controller.engine
         self.lsb_bits = self.config.anubis.asit_lsb_bits
         self.num_slots = controller.metadata_cache.num_slots
+        self.tracer = current_tracer()
+
+    def _step_ns(self, report: AsitRecoveryReport) -> float:
+        """Event timestamp under the paper's 100ns-per-step model."""
+        return report.estimated_ns()
 
     # ------------------------------------------------------------------
     # step 1: verify the Shadow Table's integrity
@@ -210,8 +216,48 @@ class AsitRecovery:
     def run(self) -> AsitRecoveryReport:
         """Execute Algorithm 2; raises on an unrecoverable state."""
         report = AsitRecoveryReport()
-        self._verify_shadow_table(report)
-        recovered = self._recover_nodes(report)
-        self._verify_recovered(recovered, report)
-        self._commit(recovered, report)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("recovery.begin", ns=0.0, engine="asit")
+        with span("recovery.asit.scan_shadow"):
+            self._verify_shadow_table(report)
+        if tracer.enabled:
+            tracer.emit(
+                "recovery.step",
+                ns=self._step_ns(report),
+                engine="asit",
+                step="scan_shadow",
+                blocks=report.st_blocks_scanned,
+            )
+        with span("recovery.asit.splice"):
+            recovered = self._recover_nodes(report)
+        if tracer.enabled:
+            for address in sorted(recovered):
+                tracer.emit(
+                    "recovery.step",
+                    ns=self._step_ns(report),
+                    engine="asit",
+                    step="splice",
+                    address=address,
+                )
+        with span("recovery.asit.verify"):
+            self._verify_recovered(recovered, report)
+        if tracer.enabled:
+            tracer.emit(
+                "recovery.step",
+                ns=self._step_ns(report),
+                engine="asit",
+                step="verify",
+                nodes=len(recovered),
+            )
+        with span("recovery.asit.commit"):
+            self._commit(recovered, report)
+        if tracer.enabled:
+            tracer.emit(
+                "recovery.end",
+                ns=self._step_ns(report),
+                engine="asit",
+                ok=True,
+                nodes_recovered=report.nodes_recovered,
+            )
         return report

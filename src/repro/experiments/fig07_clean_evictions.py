@@ -14,8 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.config import SchemeKind, TreeKind, default_table1_config
 from repro.crypto.keys import ProcessorKeys
-from repro.experiments.reporting import format_markdown_table
-from repro.sim.parallel import ParallelSweepExecutor
+from repro.experiments.reporting import collect, format_markdown_table
 from repro.traces.profiles import profile, profile_names
 from repro.traces.synthetic import generate_trace
 
@@ -63,14 +62,13 @@ def run(
         generate_trace(profile(name), trace_length, seed=seed)
         for name in names
     ]
-    results = ParallelSweepExecutor(jobs).run_simulations(
-        [(config, trace) for trace in traces], keys
+    run = collect([(config, trace) for trace in traces], keys, jobs)
+    clean = dict(
+        zip(names, run.column("counter_cache.evictions_clean", int))
     )
-    clean: Dict[str, int] = {}
-    dirty: Dict[str, int] = {}
-    for name, result in zip(names, results):
-        clean[name] = int(result.stat("counter_cache.evictions_clean"))
-        dirty[name] = int(result.stat("counter_cache.evictions_dirty"))
+    dirty = dict(
+        zip(names, run.column("counter_cache.evictions_dirty", int))
+    )
     return Fig07Result(clean=clean, dirty=dirty)
 
 

@@ -14,10 +14,8 @@ from typing import Dict, List, Optional
 
 from repro.config import SchemeKind, TreeKind, default_table1_config
 from repro.crypto.keys import ProcessorKeys
-from repro.experiments.reporting import format_markdown_table
-from repro.sim.engine import SimulationEngine
-from repro.sim.parallel import ParallelSweepExecutor
-from repro.sim.results import SchemeComparison, average_overheads
+from repro.experiments.reporting import collect, format_markdown_table
+from repro.sim.results import SchemeComparison
 from repro.traces.profiles import profile, profile_names
 from repro.traces.synthetic import generate_trace
 
@@ -58,29 +56,26 @@ def run(
     """
     names = benchmarks if benchmarks is not None else profile_names()
     keys = ProcessorKeys(seed)
-    engine = SimulationEngine(
-        default_table1_config(tree=TreeKind.SGX),
-        keys,
-        executor=ParallelSweepExecutor(jobs),
-    )
+    base_config = default_table1_config(tree=TreeKind.SGX)
     traces = [
         generate_trace(profile(name), trace_length, seed=seed)
         for name in names
     ]
-    comparisons = engine.sweep(traces, SCHEMES)
-    extra: Dict[SchemeKind, List[float]] = {scheme: [] for scheme in SCHEMES}
-    for comparison in comparisons:
-        for scheme in SCHEMES:
-            extra[scheme].append(
-                comparison.results[scheme].extra_writes_per_data_write
-            )
-    extra_writes = {
-        scheme: sum(values) / len(values) for scheme, values in extra.items()
-    }
+    run = collect(
+        [
+            (base_config.with_scheme(scheme), trace)
+            for trace in traces
+            for scheme in SCHEMES
+        ],
+        keys,
+        jobs,
+    )
     return Fig11Result(
-        comparisons=comparisons,
-        averages=average_overheads(comparisons, SCHEMES),
-        extra_writes=extra_writes,
+        comparisons=run.comparisons(SCHEMES),
+        averages=run.averages(SCHEMES),
+        extra_writes=run.scheme_mean(
+            SCHEMES, lambda result: result.extra_writes_per_data_write
+        ),
     )
 
 

@@ -19,8 +19,7 @@ from repro.config import (
     default_table1_config,
 )
 from repro.crypto.keys import ProcessorKeys
-from repro.experiments.reporting import format_markdown_table
-from repro.sim.parallel import ParallelSweepExecutor
+from repro.experiments.reporting import collect, format_markdown_table
 from repro.traces.profiles import MIB, SPEC_PROFILES, SyntheticProfile
 from repro.traces.synthetic import generate_trace
 
@@ -100,13 +99,13 @@ def run(
             ).with_cache_size(size)
             cells.append((base_config, trace))
             cells.append((base_config.with_scheme(scheme), trace))
-    outcomes = ParallelSweepExecutor(jobs).run_simulations(cells, keys)
+    pairs = collect(cells, keys, jobs).chunked(2)
     cursor = 0
     for scheme, _tree in SERIES:
         series: Dict[int, float] = {}
         for size in sizes:
-            base, run_result = outcomes[cursor], outcomes[cursor + 1]
-            cursor += 2
+            base, run_result = pairs[cursor]
+            cursor += 1
             series[size] = run_result.elapsed_ns / base.elapsed_ns
         result.normalized[scheme] = series
     return result

@@ -36,6 +36,12 @@ from repro.sim.checkpoint import (
     write_artifact,
 )
 from repro.sim.parallel import configure_executor_defaults, resolve_jobs
+from repro.telemetry.runtime import (
+    TelemetrySpec,
+    build_manifest,
+    configure_telemetry,
+    write_manifest,
+)
 
 from repro.experiments import (
     extra_dirty_footprint,
@@ -260,10 +266,49 @@ def main(argv=None) -> int:
         help="retry rounds for failed cells before degrading to "
         "in-process execution (default: 2)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record structured telemetry events and write the merged "
+        "JSONL stream here (byte-identical for any --jobs count)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the per-cell metrics snapshot (stable JSON schema) "
+        "here; implies event recording",
+    )
+    parser.add_argument(
+        "--trace-detail",
+        action="store_true",
+        help="also record high-frequency events (cache hits, per-check "
+        "integrity events) — larger traces, higher overhead",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr as grid cells finish",
+    )
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # ``python -m repro experiments run fig10`` reads naturally; accept
+    # (and drop) the optional "run" verb before the experiment names.
+    if argv and argv[0] == "run":
+        argv = argv[1:]
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
     configure_executor_defaults(timeout=args.timeout, retries=args.retries)
     selected = args.experiments or list(EXPERIMENTS)
+
+    run_fingerprint = fingerprint("experiments", args.full)
+    spec: Optional[TelemetrySpec] = None
+    if args.trace_out or args.metrics_out:
+        spec = TelemetrySpec(events=True, detail=args.trace_detail)
+    collector = configure_telemetry(spec, progress=args.progress)
+    started = time.perf_counter()
 
     journal: Optional[CheckpointJournal] = None
     if args.resume:
@@ -271,7 +316,7 @@ def main(argv=None) -> int:
         # notably --full — but not --jobs, which only changes speed.
         journal = CheckpointJournal(
             os.path.join(args.resume, "experiments.jsonl"),
-            fingerprint("experiments", args.full),
+            run_fingerprint,
         )
 
     collected: Dict[str, dict] = {}
@@ -292,15 +337,68 @@ def main(argv=None) -> int:
     finally:
         if journal is not None:
             journal.close()
+        if collector is not None:
+            collector.close_progress()
+        configure_telemetry(None)
 
+    outputs: Dict[str, str] = {}
     if args.resume:
         artifact = os.path.join(args.resume, "results.json")
         write_artifact(artifact, collected, kind="experiment-results")
+        outputs["results"] = artifact
         print(f"experiment artifact written to {artifact}")
     if args.json:
         atomic_write_json(args.json, collected)
+        outputs["json"] = args.json
         print(f"structured results written to {args.json}")
+    if collector is not None:
+        if args.trace_out:
+            lines = collector.write_trace(args.trace_out)
+            outputs["trace"] = args.trace_out
+            print(f"{lines:,} telemetry events written to {args.trace_out}")
+        if args.metrics_out:
+            atomic_write_json(
+                args.metrics_out,
+                collector.metrics_snapshot(collector.results),
+            )
+            outputs["metrics"] = args.metrics_out
+            print(f"metrics snapshot written to {args.metrics_out}")
+        manifest_path = _manifest_path(args)
+        if manifest_path is not None:
+            outputs["manifest"] = manifest_path
+            write_manifest(
+                manifest_path,
+                build_manifest(
+                    command="experiments",
+                    config_fingerprint=run_fingerprint,
+                    arguments={
+                        "experiments": selected,
+                        "full": args.full,
+                        "jobs": jobs,
+                        "trace_detail": args.trace_detail,
+                    },
+                    collector=collector,
+                    outputs=outputs,
+                    started=started,
+                ),
+            )
+            print(f"run manifest written to {manifest_path}")
     return 0
+
+
+def _manifest_path(args: argparse.Namespace) -> Optional[str]:
+    """Where this run's manifest belongs.
+
+    Next to ``results.json`` when checkpointing; otherwise derived from
+    the first requested output file so nothing in the working directory
+    is clobbered implicitly.
+    """
+    if args.resume:
+        return os.path.join(args.resume, "manifest.json")
+    for base in (args.metrics_out, args.trace_out, args.json):
+        if base:
+            return base + ".manifest.json"
+    return None
 
 
 if __name__ == "__main__":

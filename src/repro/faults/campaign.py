@@ -67,6 +67,7 @@ from repro.recovery.osiris_full import OsirisFullRecovery
 from repro.recovery.selective import SelectiveRestore
 from repro.sim.checkpoint import CheckpointJournal, fingerprint
 from repro.sim.parallel import ParallelSweepExecutor
+from repro.telemetry.runtime import current_tracer
 from repro.traces.profiles import KIB, SyntheticProfile, profile
 from repro.traces.synthetic import generate_trace
 from repro.traces.trace import Trace
@@ -597,6 +598,7 @@ def run_campaign(
     jobs: Union[int, str, None] = 1,
     checkpoint_dir: Optional[str] = None,
     executor: Optional[ParallelSweepExecutor] = None,
+    on_trial: Optional[Callable[[TrialResult], None]] = None,
 ) -> CampaignResult:
     """Run one deterministic fault-injection campaign.
 
@@ -613,6 +615,10 @@ def run_campaign(
     re-run with the same directory (and the same campaign — enforced by
     fingerprint) skips journaled trials and returns a result identical
     to an uninterrupted run.
+
+    ``on_trial`` fires once per completed trial (journaled trials
+    skipped on resume do not re-fire) — the live-progress hook campaign
+    watchers use.
     """
     plan = _build_plan(campaign)
     result = CampaignResult(
@@ -637,6 +643,8 @@ def run_campaign(
         completed[trial.index] = trial
         if journal is not None:
             journal.record(_trial_key(trial.index), trial.to_dict())
+        if on_trial is not None:
+            on_trial(trial)
 
     try:
         pending = [
@@ -689,6 +697,49 @@ def _run_trial(
     crash_point: int,
 ) -> TrialResult:
     """Execute and classify one trial (steps 1-6 of the module doc)."""
+    trial = _classify_trial(
+        index=index,
+        config=config,
+        layout=layout,
+        keys=keys,
+        image=image,
+        model=model,
+        nested=nested,
+        rng=rng,
+        trial_nvm=trial_nvm,
+        record_nvm=record_nvm,
+        record_oracle=record_oracle,
+        probe_reads=probe_reads,
+        crash_point=crash_point,
+    )
+    tracer = current_tracer()
+    if tracer.enabled:
+        # Trials have no simulated clock of their own; seq keeps order.
+        tracer.emit(
+            "trial.outcome",
+            ns=0.0,
+            trial=index,
+            model=model.name,
+            outcome=trial.outcome.value,
+        )
+    return trial
+
+
+def _classify_trial(
+    index: int,
+    config: SystemConfig,
+    layout,
+    keys: ProcessorKeys,
+    image: _CrashImage,
+    model: FaultModel,
+    nested: Optional[int],
+    rng: random.Random,
+    trial_nvm: NvmDevice,
+    record_nvm: Optional[NvmDevice],
+    record_oracle: Optional[Dict[int, bytes]],
+    probe_reads: int,
+    crash_point: int,
+) -> TrialResult:
     trial_nvm.restore(image.preflush)
     drop, tear = model.plan_flush(rng, image.pending)
     wpq = WritePendingQueue(
@@ -709,6 +760,9 @@ def _run_trial(
         record_oracle=record_oracle,
     )
     fault = model.inject(rng, ctx)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.emit("fault.inject", ns=0.0, model=model.name, trial=index)
 
     reborn = build_controller(config, keys=keys, nvm=trial_nvm, layout=layout)
     restore_chip_state(reborn, image.chip)

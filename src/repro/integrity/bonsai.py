@@ -25,6 +25,7 @@ from repro.crypto.hashes import hash64
 from repro.crypto.keys import ProcessorKeys
 from repro.errors import ConfigError
 from repro.mem.layout import MemoryLayout
+from repro.telemetry.runtime import current_tracer
 
 
 class BonsaiNode:
@@ -84,6 +85,9 @@ class BonsaiTreeEngine:
     def __init__(self, keys: ProcessorKeys, layout: MemoryLayout) -> None:
         self.keys = keys
         self.layout = layout
+        # Bound once at construction: NULL_TRACER outside a telemetry
+        # session, so the hot-path guard is one attribute test.
+        self._tracer = current_tracer()
         # Per-level default node bytes for untouched regions. Level 0's
         # default is the all-zero split-counter block (which serializes
         # to zero bytes, the NVM's natural default); level k's default
@@ -127,7 +131,11 @@ class BonsaiTreeEngine:
         self, parent: BonsaiNode, child_slot: int, child_bytes: bytes
     ) -> bool:
         """Does the parent's recorded hash match the child's content?"""
-        return parent.child_hash(child_slot) == self.block_hash(child_bytes)
+        ok = parent.child_hash(child_slot) == self.block_hash(child_bytes)
+        tracer = self._tracer
+        if tracer.enabled and tracer.detail:
+            tracer.emit("integrity.check", tree="bonsai", ok=ok)
+        return ok
 
     # ------------------------------------------------------------------
     # root maintenance (eager update scheme keeps this current)

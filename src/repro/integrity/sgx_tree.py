@@ -23,6 +23,7 @@ from repro.counters.sgx import SgxCounterBlock
 from repro.crypto.hashes import mac56
 from repro.crypto.keys import ProcessorKeys
 from repro.mem.layout import MemoryLayout
+from repro.telemetry.runtime import current_tracer
 
 
 class SgxTreeEngine:
@@ -31,6 +32,9 @@ class SgxTreeEngine:
     def __init__(self, keys: ProcessorKeys, layout: MemoryLayout) -> None:
         self.keys = keys
         self.layout = layout
+        # Bound once at construction: NULL_TRACER outside a telemetry
+        # session, so the hot-path guard is one attribute test.
+        self._tracer = current_tracer()
         default = SgxCounterBlock()
         default.mac = self.compute_mac(default, parent_nonce=0)
         self._default_block = default
@@ -54,7 +58,11 @@ class SgxTreeEngine:
 
     def verify(self, node: SgxCounterBlock, parent_nonce: int) -> bool:
         """Does the node's stored MAC match its nonces + parent nonce?"""
-        return node.mac == self.compute_mac(node, parent_nonce)
+        ok = node.mac == self.compute_mac(node, parent_nonce)
+        tracer = self._tracer
+        if tracer.enabled and tracer.detail:
+            tracer.emit("integrity.check", tree="sgx", ok=ok)
+        return ok
 
     def seal(self, node: SgxCounterBlock, parent_nonce: int) -> None:
         """Recompute and install the node's MAC before it leaves the chip."""

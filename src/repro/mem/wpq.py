@@ -24,6 +24,7 @@ from repro.config import BLOCK_SIZE
 from repro.errors import WpqError
 from repro.mem.nvm import NvmDevice
 from repro.mem.timing import MemoryChannel
+from repro.telemetry.runtime import current_tracer
 from repro.util.stats import StatGroup
 
 #: A pending write: (data bytes, optional sideband ECC bytes).
@@ -67,6 +68,7 @@ class WritePendingQueue:
         self.channel = channel
         self.capacity = entries
         self.stats = stats if stats is not None else StatGroup("wpq")
+        self.tracer = current_tracer()
         self._inserts = self.stats.counter("inserts")
         self._drains = self.stats.counter("drains")
         self._coalesced = self.stats.counter("coalesced")
@@ -125,6 +127,8 @@ class WritePendingQueue:
         while self._pending:
             self._drain_one()
             drained += 1
+        if drained and self.tracer.enabled:
+            self.tracer.emit("wpq.drain", count=drained)
         return drained
 
     def drain_all(self) -> int:
@@ -133,6 +137,8 @@ class WritePendingQueue:
         while self._pending:
             self._drain_one()
             drained += 1
+        if drained and self.tracer.enabled:
+            self.tracer.emit("wpq.drain", count=drained)
         return drained
 
     def pending_entries(self) -> List[Tuple[int, bytes, Optional[bytes]]]:

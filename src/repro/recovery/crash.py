@@ -29,6 +29,7 @@ from repro.controller.factory import build_controller
 from repro.controller.sgx import SgxController
 from repro.errors import CrashError
 from repro.mem.wpq import AdrFlushRecord
+from repro.telemetry.runtime import current_tracer
 
 
 def crash(
@@ -48,6 +49,15 @@ def crash(
         drop_newest=drop_newest, tear_newest=tear_newest
     )
     controller.drop_volatile()
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            "crash.power_failure",
+            ns=controller.channel.elapsed_ns,
+            flushed=len(record.flushed),
+            dropped=len(record.dropped),
+            torn=len(record.torn),
+        )
     return record
 
 

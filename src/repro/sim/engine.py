@@ -19,6 +19,11 @@ from repro.controller.sgx import SgxController
 from repro.crypto.keys import ProcessorKeys
 from repro.sim.parallel import ParallelSweepExecutor
 from repro.sim.results import SchemeComparison, SimulationResult
+from repro.telemetry.runtime import (
+    TelemetrySpec,
+    session as telemetry_session,
+    span,
+)
 from repro.traces.replay import replay
 from repro.traces.trace import Trace
 
@@ -47,8 +52,27 @@ def run_simulation(
     config: SystemConfig,
     trace: Trace,
     keys: Optional[ProcessorKeys] = None,
+    telemetry: Optional[TelemetrySpec] = None,
 ) -> SimulationResult:
-    """Replay one trace on a freshly built system; return its result."""
+    """Replay one trace on a freshly built system; return its result.
+
+    With a :class:`~repro.telemetry.runtime.TelemetrySpec`, the cell
+    runs under its own telemetry session (installed for exactly the
+    controller build + replay, so components bind this cell's tracer)
+    and the result carries the recorded events — the per-cell stream a
+    parent-side :class:`~repro.telemetry.runtime.RunCollector` merges.
+    """
+    if telemetry is not None:
+        with telemetry_session(telemetry) as active:
+            result = run_simulation(config, trace, keys)
+        tracer = active.tracer
+        if tracer.enabled:
+            result.events = tracer.drain()
+            result.telemetry = {
+                "events": len(result.events),
+                "dropped_events": tracer.dropped,
+            }
+        return result
     controller = build_controller(config, keys=keys)
     replay(controller, trace)
     elapsed = controller.finalize()
@@ -88,7 +112,8 @@ class SimulationEngine:
     def run(self, trace: Trace, scheme: SchemeKind) -> SimulationResult:
         """Run one trace under one scheme."""
         config = self.base_config.with_scheme(scheme)
-        return run_simulation(config, trace, self.keys)
+        with span(f"sim.run.{scheme.value}"):
+            return run_simulation(config, trace, self.keys)
 
     def compare(
         self,
@@ -112,7 +137,8 @@ class SimulationEngine:
             for trace in trace_list
             for scheme in schemes
         ]
-        results = self.executor.run_simulations(cells, self.keys)
+        with span("sim.sweep"):
+            results = self.executor.run_simulations(cells, self.keys)
         comparisons: List[SchemeComparison] = []
         cursor = 0
         for trace in trace_list:

@@ -147,12 +147,18 @@ def resolve_jobs(spec: Union[int, float, str, None]) -> int:
     return spec
 
 
-def _simulate_cell(payload: Tuple[SystemConfig, Trace, Optional[ProcessorKeys]]):
-    """Module-level worker: one cell per call (spawn/fork picklable)."""
+def _simulate_cell(payload: Tuple):
+    """Module-level worker: one cell per call (spawn/fork picklable).
+
+    The payload is ``(config, trace, keys)`` or, when the run asked for
+    telemetry, ``(config, trace, keys, spec)`` — the spec must ride in
+    the payload because spawn workers inherit no parent globals.
+    """
     from repro.sim.engine import run_simulation
 
-    config, trace, keys = payload
-    return run_simulation(config, trace, keys)
+    config, trace, keys = payload[:3]
+    telemetry = payload[3] if len(payload) > 3 else None
+    return run_simulation(config, trace, keys, telemetry=telemetry)
 
 
 class ParallelSweepExecutor:
@@ -409,6 +415,42 @@ class ParallelSweepExecutor:
         keys: Optional[ProcessorKeys] = None,
         on_result: Optional[Callable[[int, SimulationResult], None]] = None,
     ) -> List[SimulationResult]:
-        """Run every (config, trace) cell; results in cell order."""
-        payloads = [(config, trace, keys) for config, trace in cells]
-        return self.map(_simulate_cell, payloads, on_result=on_result)
+        """Run every (config, trace) cell; results in cell order.
+
+        When the run configured telemetry (see
+        :func:`repro.telemetry.runtime.configure_telemetry`), the spec
+        is shipped inside each payload, the live progress line ticks as
+        results are harvested, and the finished results are absorbed —
+        in submission order — into the run's collector.
+        """
+        from repro.telemetry.runtime import active_spec, run_collector
+
+        spec = active_spec()
+        collector = run_collector()
+        if spec is not None:
+            payloads: List[Tuple] = [
+                (config, trace, keys, spec) for config, trace in cells
+            ]
+        else:
+            payloads = [(config, trace, keys) for config, trace in cells]
+
+        harvest = on_result
+        if collector is not None:
+
+            def harvest(index: int, result: SimulationResult) -> None:
+                collector.tick(events=len(result.events or []))
+                if on_result is not None:
+                    on_result(index, result)
+
+        started = time.perf_counter()
+        retries_before = len(self.retry_log)
+        results = self.map(_simulate_cell, payloads, on_result=harvest)
+        if collector is not None:
+            for result in results:
+                collector.absorb(result)
+            collector.note_sweep(
+                wall_seconds=time.perf_counter() - started,
+                retries=len(self.retry_log) - retries_before,
+                jobs=self.jobs,
+            )
+        return results

@@ -25,6 +25,11 @@ class SimulationResult:
     elapsed_ns: float
     requests: int
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Structured events recorded while this cell ran; None unless the
+    #: run asked for telemetry (see :mod:`repro.telemetry`).
+    events: Optional[List[dict]] = None
+    #: Telemetry summary (event/drop counts) when events were recorded.
+    telemetry: Optional[Dict[str, int]] = None
 
     @property
     def ns_per_access(self) -> float:
@@ -55,13 +60,20 @@ class SimulationResult:
         journaled cells back into results indistinguishable from
         freshly computed ones.
         """
-        return {
+        payload: Dict[str, object] = {
             "benchmark": self.benchmark,
             "scheme": self.scheme.value,
             "elapsed_ns": self.elapsed_ns,
             "requests": self.requests,
             "stats": dict(self.stats),
         }
+        # Telemetry fields are omitted when absent so journals written
+        # before (or without) telemetry stay byte-identical.
+        if self.events is not None:
+            payload["events"] = list(self.events)
+        if self.telemetry is not None:
+            payload["telemetry"] = dict(self.telemetry)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":

@@ -1,0 +1,103 @@
+"""Telemetry file tools: ``python -m repro.telemetry <command>``.
+
+* ``validate TRACE.jsonl`` — check an event stream against the schema;
+  exits 1 listing the problems when invalid (CI smoke uses this);
+* ``chrome TRACE.jsonl -o out.json`` — convert to Chrome
+  ``trace_event`` JSON for chrome://tracing or ui.perfetto.dev;
+* ``schema`` — print the event-kind table (the docs are generated
+  from the same source of truth).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.telemetry.events import (
+    EVENT_SCHEMA,
+    chrome_trace,
+    read_jsonl,
+    validate_events,
+)
+
+
+def _load(path: str) -> List[dict]:
+    with open(path) as stream:
+        return read_jsonl(stream)
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    problems = validate_events(events)
+    if problems:
+        for problem in problems[:25]:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if len(problems) > 25:
+            print(f"... and {len(problems) - 25} more", file=sys.stderr)
+        return 1
+    kinds: dict = {}
+    for event in events:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    print(f"{args.trace}: {len(events)} events, schema-valid")
+    for kind in sorted(kinds):
+        print(f"  {kind:<22} {kinds[kind]:>10,}")
+    return 0
+
+
+def _command_chrome(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    converted = chrome_trace(events)
+    with open(args.output, "w") as stream:
+        json.dump(converted, stream)
+    print(
+        f"wrote {len(converted['traceEvents'])} trace events to "
+        f"{args.output} — load in chrome://tracing or ui.perfetto.dev"
+    )
+    return 0
+
+
+def _command_schema(_args: argparse.Namespace) -> int:
+    for kind in sorted(EVENT_SCHEMA):
+        fields, description = EVENT_SCHEMA[kind]
+        field_list = ", ".join(fields)
+        print(f"{kind:<22} [{field_list}] — {description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect and convert telemetry event streams.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="check a JSONL event stream against the schema"
+    )
+    validate.add_argument("trace", help="path to a --trace-out file")
+    validate.set_defaults(handler=_command_validate)
+
+    chrome = commands.add_parser(
+        "chrome", help="convert a JSONL stream to Chrome trace_event JSON"
+    )
+    chrome.add_argument("trace", help="path to a --trace-out file")
+    chrome.add_argument("-o", "--output", required=True)
+    chrome.set_defaults(handler=_command_chrome)
+
+    schema = commands.add_parser("schema", help="print the event schema")
+    schema.set_defaults(handler=_command_schema)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # The reader (``| head``) closed stdout early; files were
+        # already written before printing, so this is a success.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

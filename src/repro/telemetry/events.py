@@ -1,0 +1,263 @@
+"""Structured event tracing: bounded buffers, JSONL, Chrome traces.
+
+An :class:`EventTracer` is the write side: components call
+``tracer.emit(kind, **fields)`` on the hot path, guarded by
+``tracer.enabled`` so the disabled case costs one attribute read.  Each
+event records the *simulated* clock (``tracer.now``, nanoseconds — the
+memory channel keeps it current) and a per-tracer sequence number;
+never wall-clock time, so traces from equal runs are byte-identical.
+
+The read side is plain data: :func:`write_jsonl` serializes events one
+per line with sorted keys, :func:`validate_events` checks a stream
+against :data:`EVENT_SCHEMA`, and :func:`chrome_trace` converts to the
+Chrome ``trace_event`` format (open ``chrome://tracing`` or
+https://ui.perfetto.dev and load the file).
+
+Buffers are bounded: past ``buffer_limit`` events the tracer stops
+recording and counts drops instead of growing without bound — a
+truncated trace is flagged in the run manifest, never silent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+#: Default per-tracer event-buffer capacity.  A fig10-scale cell emits
+#: a few events per simulated access; 200k events is roughly 40MB of
+#: JSONL — past that, drop and flag.
+DEFAULT_BUFFER_LIMIT = 200_000
+
+#: Event kind -> (required fields, description).  ``kind``, ``ns`` and
+#: ``seq`` are implicit in every event; ``cell`` is added by the run
+#: collector when streams from many simulation cells are merged.
+EVENT_SCHEMA: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "mem.access": (
+        ("op", "address"),
+        "one request entered the secure memory controller",
+    ),
+    "cache.hit": (
+        ("cache", "address"),
+        "metadata-cache lookup hit (detail-level only)",
+    ),
+    "cache.miss": (
+        ("cache", "address"),
+        "metadata-cache lookup missed",
+    ),
+    "cache.evict": (
+        ("cache", "address", "dirty"),
+        "metadata-cache fill evicted a block (dirty says which split)",
+    ),
+    "shadow.update": (
+        ("table", "address"),
+        "Anubis shadow-table block persisted (SCT/SMT/ST)",
+    ),
+    "wpq.drain": (
+        ("count",),
+        "the write-pending queue drained pending entries to NVM",
+    ),
+    "crash.power_failure": (
+        ("flushed", "dropped", "torn"),
+        "power failure injected: ADR flush disposition",
+    ),
+    "fault.inject": (
+        ("model", "trial"),
+        "a fault model mutated the crashed image",
+    ),
+    "trial.outcome": (
+        ("trial", "model", "outcome"),
+        "one fault-campaign trial classified",
+    ),
+    "recovery.begin": (
+        ("engine",),
+        "a recovery engine started",
+    ),
+    "recovery.step": (
+        ("engine", "step"),
+        "one unit of recovery work (repair/rebuild/splice/verify/commit)",
+    ),
+    "recovery.end": (
+        ("engine", "ok"),
+        "recovery finished (ok=False never happens: failures raise)",
+    ),
+    "integrity.check": (
+        ("tree", "ok"),
+        "integrity-tree child verification (detail-level only)",
+    ),
+}
+
+
+class EventTracer:
+    """Bounded, buffered structured-event sink.
+
+    The hot-path contract: callers guard emission sites with
+    ``if tracer.enabled:`` so a disabled tracer costs one attribute
+    read and no argument packing.  ``tracer.now`` holds the current
+    simulated-nanosecond clock; the memory controller updates it as
+    the timing channel advances, and recovery engines drive it from
+    their step-cost model.
+    """
+
+    __slots__ = ("enabled", "detail", "now", "dropped", "buffer_limit",
+                 "_seq", "_events")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        detail: bool = False,
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+    ) -> None:
+        self.enabled = enabled
+        #: Detail level: high-frequency events (cache hits, per-check
+        #: integrity events) emit only when set, keeping default traces
+        #: and overhead bounded.
+        self.detail = detail
+        #: Current simulated time in nanoseconds.
+        self.now = 0.0
+        self.dropped = 0
+        self.buffer_limit = buffer_limit
+        self._seq = 0
+        self._events: List[dict] = []
+
+    def emit(self, kind: str, ns: Optional[float] = None, **fields) -> None:
+        """Record one event (no-op when disabled; counts when full)."""
+        if not self.enabled:
+            return
+        if len(self._events) >= self.buffer_limit:
+            self.dropped += 1
+            return
+        event = {"kind": kind, "ns": self.now if ns is None else ns,
+                 "seq": self._seq}
+        event.update(fields)
+        self._seq += 1
+        self._events.append(event)
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the buffer overflowed and events were dropped."""
+        return self.dropped > 0
+
+    def events(self) -> List[dict]:
+        """The recorded events, in emission order."""
+        return self._events
+
+    def drain(self) -> List[dict]:
+        """Hand over the buffer and start a fresh one (seq continues)."""
+        events, self._events = self._events, []
+        return events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"EventTracer({state}, {len(self._events)} events, "
+            f"{self.dropped} dropped)"
+        )
+
+
+#: The shared disabled tracer: what :func:`~repro.telemetry.runtime.
+#: current_tracer` returns when no telemetry session is active.
+#: Never enable it — every component in the process aliases it.
+NULL_TRACER = EventTracer(enabled=False, buffer_limit=0)
+
+
+def write_jsonl(events: Iterable[dict], stream: TextIO) -> int:
+    """Write events one-per-line; compact separators, sorted keys.
+
+    The fixed serialization (plus the simulated-time/sequence-number
+    timestamps) is what makes ``--trace-out`` files byte-identical
+    across ``--jobs`` counts.  Returns the number of lines written.
+    """
+    count = 0
+    for event in events:
+        stream.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+        )
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_jsonl(stream: TextIO) -> List[dict]:
+    """Parse a JSONL event stream (inverse of :func:`write_jsonl`)."""
+    events = []
+    for line in stream:
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+def validate_events(events: Iterable[dict]) -> List[str]:
+    """Check events against :data:`EVENT_SCHEMA`; returns problems.
+
+    An empty list means the stream is schema-valid.  Each problem
+    string names the offending event index and what is wrong — unknown
+    kind, missing implicit field, or missing schema field.
+    """
+    problems: List[str] = []
+    for index, event in enumerate(events):
+        kind = event.get("kind")
+        if kind is None:
+            problems.append(f"event {index}: no 'kind' field")
+            continue
+        if kind not in EVENT_SCHEMA:
+            problems.append(f"event {index}: unknown kind {kind!r}")
+            continue
+        for implicit in ("ns", "seq"):
+            if implicit not in event:
+                problems.append(
+                    f"event {index} ({kind}): missing {implicit!r}"
+                )
+        required, _description = EVENT_SCHEMA[kind]
+        for field in required:
+            if field not in event:
+                problems.append(
+                    f"event {index} ({kind}): missing field {field!r}"
+                )
+    return problems
+
+
+def chrome_trace(events: Iterable[dict]) -> dict:
+    """Convert an event stream to Chrome ``trace_event`` JSON.
+
+    Every event becomes an instant ("i") on a thread per cell (or per
+    recovery engine), timestamped with the simulated clock in
+    microseconds; ``recovery.begin``/``recovery.end`` pairs become
+    duration ("B"/"E") slices so recovery phases show as bars.
+    """
+    trace: List[dict] = []
+    for event in events:
+        kind = event.get("kind", "?")
+        ts_us = float(event.get("ns", 0.0)) / 1000.0
+        tid = int(event.get("cell", 0))
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in ("kind", "ns", "seq", "cell")
+        }
+        if kind == "recovery.begin":
+            phase, name = "B", f"recovery:{event.get('engine', '?')}"
+        elif kind == "recovery.end":
+            phase, name = "E", f"recovery:{event.get('engine', '?')}"
+        else:
+            phase, name = "i", kind
+        record = {
+            "name": name,
+            "ph": phase,
+            "ts": ts_us,
+            "pid": 1,
+            "tid": tid,
+            "cat": kind.split(".", 1)[0],
+            "args": args,
+        }
+        if phase == "i":
+            record["s"] = "t"  # instant scope: thread
+        trace.append(record)
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ns",
+        "otherData": {"source": "repro.telemetry"},
+    }

@@ -1,0 +1,379 @@
+"""Metric primitives: counters, gauges, histograms, timers, registry.
+
+These are the accumulation types the whole reproduction measures itself
+with.  :mod:`repro.util.stats` re-exports :class:`Counter` and
+:class:`Histogram` so every simulated component keeps its existing
+``StatGroup`` API, while the :class:`MetricsRegistry` adds what the
+harness needs on top: a hierarchy of groups, gauges and wall-clock
+timers, and a stable-schema JSON snapshot.
+
+Two invariants matter everywhere:
+
+* **Determinism.**  Nothing in a *deterministic* snapshot may depend on
+  wall-clock time, process scheduling, or hashing order — timers are
+  excluded by default and every mapping is emitted in sorted-key order,
+  so two runs of the same work produce byte-identical snapshots.
+* **Bounded memory.**  Histograms keep percentiles from a fixed-size
+  reservoir (stride-doubling decimation, no RNG), so a histogram fed
+  millions of samples stays a few KiB and stays deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Reservoir capacity for histogram percentiles.  When full, every
+#: other retained sample is discarded and the keep-stride doubles —
+#: deterministic for a given observation order, unlike random-eviction
+#: reservoirs.
+RESERVOIR_LIMIT = 1024
+
+
+class Counter:
+    """A monotonically accumulating integer statistic.
+
+    ``add`` rejects negative amounts: a counter that can go down is a
+    gauge, and silently accepting negatives has historically hidden
+    sign bugs in accounting code (use :class:`Gauge` for level-style
+    values).
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        """Increment the counter by ``amount`` (default 1, must be >= 0)."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot add a negative amount "
+                f"({amount}); counters are monotonic — use a Gauge for "
+                "values that go down"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time level: goes up, goes down, remembers its peak."""
+
+    __slots__ = ("name", "value", "maximum")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+        self.maximum = value
+
+    def set(self, value: float) -> None:
+        """Set the current level."""
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def adjust(self, delta: float) -> None:
+        """Move the level by ``delta`` (either sign)."""
+        self.set(self.value + delta)
+
+    def reset(self) -> None:
+        """Reset level and peak to zero."""
+        self.value = 0.0
+        self.maximum = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value}, max={self.maximum})"
+
+
+class Histogram:
+    """A streaming histogram: count/sum/min/max/mean/stddev/percentiles.
+
+    Variance uses Welford's online algorithm: the textbook
+    ``sum_sq/n - mean²`` shortcut cancels catastrophically once samples
+    are large relative to their spread (e.g. nanosecond timestamps in
+    the 1e9 range with sub-1e3 jitter), and can even go negative.
+
+    Percentiles come from a bounded reservoir.  Every ``stride``-th
+    sample is retained; when the reservoir reaches
+    :data:`RESERVOIR_LIMIT` entries, every other retained sample is
+    dropped and the stride doubles.  The decimation is purely a
+    function of the observation sequence — no randomness — so a
+    histogram fed the same samples in the same order always reports
+    the same percentiles, which is what lets snapshots be compared
+    byte-for-byte across runs.
+    """
+
+    __slots__ = (
+        "name", "count", "total", "minimum", "maximum", "_mean", "_m2",
+        "_reservoir", "_stride", "_skip",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self._reservoir.append(value)
+        if len(self._reservoir) >= RESERVOIR_LIMIT:
+            self._reservoir = self._reservoir[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the samples (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        return math.sqrt(max(self._m2 / self.count, 0.0))
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile (0.5 = median) from the reservoir.
+
+        Exact while fewer than :data:`RESERVOIR_LIMIT` samples have
+        been observed; a deterministic approximation afterwards.
+        Returns 0.0 for an empty histogram.
+        """
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(
+            int(fraction * len(ordered)), len(ordered) - 1
+        )
+        return ordered[max(rank, 0)]
+
+    @property
+    def p50(self) -> float:
+        """Median of the observed samples."""
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile of the observed samples."""
+        return self.percentile(0.95)
+
+    def reset(self) -> None:
+        """Clear all samples."""
+        self.count = 0
+        self.total = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = None
+        self.maximum = None
+        self._reservoir = []
+        self._stride = 1
+        self._skip = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean:.3g}, "
+            f"p50={self.p50:.3g}, p95={self.p95:.3g}, "
+            f"max={self.maximum if self.maximum is not None else 0.0:.3g})"
+        )
+
+
+class Timer:
+    """Wall-clock phase timer accumulating :func:`time.perf_counter` spans.
+
+    Timers measure the *harness* (how long did the sweep take, where did
+    recovery spend its time) and are therefore excluded from
+    deterministic snapshots — wall time is the one quantity two equal
+    runs never agree on.
+    """
+
+    __slots__ = ("name", "count", "total_seconds", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self._started: Optional[float] = None
+
+    def start(self) -> None:
+        """Open a span (monotonic clock)."""
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """Close the open span; returns its length in seconds."""
+        if self._started is None:
+            return 0.0
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.count += 1
+        self.total_seconds += elapsed
+        return elapsed
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def reset(self) -> None:
+        """Clear accumulated spans (an open span is abandoned)."""
+        self.count = 0
+        self.total_seconds = 0.0
+        self._started = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Timer({self.name}: n={self.count}, "
+            f"total={self.total_seconds:.4f}s)"
+        )
+
+
+def flatten_histogram(prefix: str, histogram: Histogram) -> Dict[str, float]:
+    """The stable flattened schema of one histogram.
+
+    Shared by :meth:`MetricsRegistry.snapshot` and
+    ``StatGroup.as_dict`` so simulation stats and harness metrics
+    report histograms identically.
+    """
+    return {
+        f"{prefix}.count": histogram.count,
+        f"{prefix}.mean": histogram.mean,
+        f"{prefix}.p50": histogram.p50,
+        f"{prefix}.p95": histogram.p95,
+        f"{prefix}.max": (
+            histogram.maximum if histogram.maximum is not None else 0.0
+        ),
+    }
+
+
+class MetricsRegistry:
+    """A hierarchy of named metric groups with a stable JSON snapshot.
+
+    Group and metric names are dot-joined into the flat snapshot keys
+    (``recovery.agit.nodes_rebuilt``), giving one namespace across the
+    simulator and the harness.  Creation is idempotent: asking for an
+    existing metric returns the same object, so wiring code can
+    pre-declare names without the component caring.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._children: Dict[str, "MetricsRegistry"] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def group(self, name: str) -> "MetricsRegistry":
+        """Return (creating if needed) the child registry ``name``."""
+        if name not in self._children:
+            self._children[name] = MetricsRegistry(name)
+        return self._children[name]
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Return (creating if needed) the gauge ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return (creating if needed) the histogram ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def timer(self, name: str) -> Timer:
+        """Return (creating if needed) the wall-clock timer ``name``."""
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    # -- reporting ------------------------------------------------------
+
+    def _walk(self, prefix: str) -> Iterator[Tuple[str, "MetricsRegistry"]]:
+        yield prefix, self
+        for name in sorted(self._children):
+            child_prefix = f"{prefix}{name}." if prefix or name else ""
+            yield from self._children[name]._walk(child_prefix)
+
+    def snapshot(self, deterministic: bool = True) -> Dict[str, float]:
+        """Flatten the whole hierarchy to ``{dotted.name: value}``.
+
+        With ``deterministic=True`` (the default) wall-clock timers are
+        excluded: the remaining counters/gauges/histograms are pure
+        functions of the simulated work, so equal runs snapshot to
+        equal bytes.  ``deterministic=False`` adds ``<timer>.count``
+        and ``<timer>.seconds`` entries for manifests and live
+        introspection.
+        """
+        flat: Dict[str, float] = {}
+        for prefix, registry in self._walk(""):
+            for name in sorted(registry._counters):
+                flat[f"{prefix}{name}"] = registry._counters[name].value
+            for name in sorted(registry._gauges):
+                gauge = registry._gauges[name]
+                flat[f"{prefix}{name}"] = gauge.value
+                flat[f"{prefix}{name}.max"] = gauge.maximum
+            for name in sorted(registry._histograms):
+                flat.update(
+                    flatten_histogram(
+                        f"{prefix}{name}", registry._histograms[name]
+                    )
+                )
+            if not deterministic:
+                for name in sorted(registry._timers):
+                    timer = registry._timers[name]
+                    flat[f"{prefix}{name}.count"] = timer.count
+                    flat[f"{prefix}{name}.seconds"] = timer.total_seconds
+        return dict(sorted(flat.items()))
+
+    def reset(self) -> None:
+        """Reset every metric in the hierarchy."""
+        for _prefix, registry in self._walk(""):
+            for metric in (
+                list(registry._counters.values())
+                + list(registry._gauges.values())
+                + list(registry._histograms.values())
+                + list(registry._timers.values())
+            ):
+                metric.reset()
+
+    def __repr__(self) -> str:
+        flat = self.snapshot(deterministic=False)
+        return f"MetricsRegistry({self.name or '<root>'}: {len(flat)} values)"

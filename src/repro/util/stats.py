@@ -5,92 +5,23 @@ each controller) owns a :class:`StatGroup` and registers named counters or
 histograms on it.  The simulation engine merges these groups into one
 result record per run.  Keeping stats in a uniform container means new
 experiments never have to modify the components they measure.
+
+The metric primitives themselves live in :mod:`repro.telemetry.metrics`
+(one implementation for the simulator and the harness); this module
+re-exports :class:`Counter` and :class:`Histogram` for compatibility
+and keeps the flat, simulation-facing :class:`StatGroup`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
-
-class Counter:
-    """A monotonically accumulating integer statistic."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str, value: int = 0) -> None:
-        self.name = name
-        self.value = value
-
-    def add(self, amount: int = 1) -> None:
-        """Increment the counter by ``amount`` (default 1)."""
-        self.value += amount
-
-    def reset(self) -> None:
-        """Reset the counter to zero."""
-        self.value = 0
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value})"
-
-
-class Histogram:
-    """A streaming histogram tracking count / sum / min / max / mean.
-
-    Variance uses Welford's online algorithm: the textbook
-    ``sum_sq/n - mean²`` shortcut cancels catastrophically once samples
-    are large relative to their spread (e.g. nanosecond timestamps in
-    the 1e9 range with sub-1e3 jitter), and can even go negative.
-    """
-
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "_mean", "_m2")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.count = 0
-        self.total = 0.0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self.minimum: Optional[float] = None
-        self.maximum: Optional[float] = None
-
-    def observe(self, value: float) -> None:
-        """Record one sample."""
-        self.count += 1
-        self.total += value
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
-
-    @property
-    def mean(self) -> float:
-        """Arithmetic mean of the observed samples (0.0 when empty)."""
-        return self._mean if self.count else 0.0
-
-    @property
-    def stddev(self) -> float:
-        """Population standard deviation of the samples (0.0 when empty)."""
-        if not self.count:
-            return 0.0
-        return math.sqrt(max(self._m2 / self.count, 0.0))
-
-    def reset(self) -> None:
-        """Clear all samples."""
-        self.count = 0
-        self.total = 0.0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self.minimum = None
-        self.maximum = None
-
-    def __repr__(self) -> str:
-        return (
-            f"Histogram({self.name}: n={self.count}, mean={self.mean:.3g})"
-        )
+from repro.telemetry.metrics import (  # noqa: F401 — re-exported API
+    Counter,
+    Histogram,
+    flatten_histogram,
+)
 
 
 class StatGroup:
@@ -144,15 +75,17 @@ class StatGroup:
     def as_dict(self) -> Dict[str, float]:
         """Flatten the group to ``{qualified_name: value}``.
 
-        Counters map directly; histograms expand to ``.count`` and
-        ``.mean`` entries.
+        Counters map directly; histograms expand to ``.count``,
+        ``.mean``, ``.p50``, ``.p95`` and ``.max`` entries (the shared
+        schema of :func:`repro.telemetry.metrics.flatten_histogram`).
         """
         flat: Dict[str, float] = {}
         for name, value in self.counters():
             flat[f"{self.name}.{name}"] = value
         for histogram in self.histograms():
-            flat[f"{self.name}.{histogram.name}.count"] = histogram.count
-            flat[f"{self.name}.{histogram.name}.mean"] = histogram.mean
+            flat.update(
+                flatten_histogram(f"{self.name}.{histogram.name}", histogram)
+            )
         return flat
 
     def merge_into(self, target: Dict[str, float]) -> None:
