@@ -1,0 +1,281 @@
+"""The security-claims oracle: what each scheme *promises* per attack.
+
+Anubis's security argument is a table of claims, not a vibe: for every
+(attack class, scheme, tamper window) the design either detects the
+tamper, recovers the correct state, or is known-vulnerable — and a
+known vulnerability must come with a paper citation, because "we
+expected it to fail" is only honest when the literature says so.
+
+The oracle makes that table executable.  Every attack-campaign trial
+is classified against its claim:
+
+* ``AS_CLAIMED`` — the observed outcome is in the claim's accepted set;
+* ``VACUOUS`` — the trial degenerated (nothing to tamper with at that
+  crash point), so it neither supports nor refutes the claim;
+* ``VIOLATION`` — the outcome contradicts the claim.  Silent acceptance
+  of tampered state by any scheme not declared ``KNOWN_VULNERABLE`` is
+  the canonical violation, and ``RECOVERY_FAILED`` (an unprincipled
+  crash) is *always* a violation — failing open and failing broken are
+  both failures.
+
+A missing claim or a ``KNOWN_VULNERABLE`` entry without a citation
+raises :class:`~repro.errors.SecurityClaimError` before any trial runs:
+the campaign must not start against an oracle that cannot judge it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.config import SchemeKind, TreeKind
+from repro.errors import SecurityClaimError
+from repro.faults.campaign import Outcome, scheme_has_recovery
+from repro.faults.models import WINDOW_AT_CRASH, WINDOW_MID_RECOVERY
+
+
+class Expectation(Enum):
+    """What a scheme's security model promises against one attack."""
+
+    #: The tamper must be refused (``TAMPER_DETECTED``) — recovery or a
+    #: later read raises; serving anything, even correct data, would
+    #: mean the attack was not actually exercised.
+    DETECTED = "DETECTED"
+    #: Recovery must repair to the correct, newest state.
+    RECOVERED_CORRECT = "RECOVERED_CORRECT"
+    #: Either refusal or correct recovery is principled (e.g. a replayed
+    #: counter block whose covered slots recovery legitimately repairs,
+    #: or whose replay happened to be a no-op on the probed slots).
+    DETECTED_OR_RECOVERED = "DETECTED_OR_RECOVERED"
+    #: The scheme is known-vulnerable to this attack; silent acceptance
+    #: is the *documented* outcome (citation required).  Detection or
+    #: correct recovery is still acceptable — a vulnerability is an
+    #: upper bound on the defense, not a guarantee of the exploit.
+    KNOWN_VULNERABLE = "KNOWN_VULNERABLE"
+
+
+#: Outcomes each expectation accepts.  ``RECOVERY_FAILED`` appears in
+#: none of them: an unprincipled crash never satisfies a claim.
+ACCEPTED_OUTCOMES: Dict[Expectation, FrozenSet[Outcome]] = {
+    Expectation.DETECTED: frozenset({Outcome.TAMPER_DETECTED}),
+    Expectation.RECOVERED_CORRECT: frozenset({Outcome.RECOVERED}),
+    Expectation.DETECTED_OR_RECOVERED: frozenset(
+        {Outcome.TAMPER_DETECTED, Outcome.RECOVERED}
+    ),
+    Expectation.KNOWN_VULNERABLE: frozenset(
+        {
+            Outcome.SILENT_CORRUPTION,
+            Outcome.TAMPER_DETECTED,
+            Outcome.RECOVERED,
+        }
+    ),
+}
+
+
+class Verdict(Enum):
+    """How one trial relates to its security claim."""
+
+    AS_CLAIMED = "AS_CLAIMED"
+    VACUOUS = "VACUOUS"
+    VIOLATION = "VIOLATION"
+
+
+@dataclass(frozen=True)
+class SecurityClaim:
+    """One declared (attack, scheme, window) expectation."""
+
+    attack: str
+    scheme: SchemeKind
+    tree: TreeKind
+    window: str
+    expected: Expectation
+    citation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.expected is Expectation.KNOWN_VULNERABLE and not self.citation:
+            raise SecurityClaimError(
+                f"claim ({self.attack}, {self.scheme.value}/"
+                f"{self.tree.value}, {self.window}) declares "
+                "KNOWN_VULNERABLE without a citation — a known "
+                "vulnerability must cite the literature that knows it"
+            )
+
+    @property
+    def key(self) -> Tuple[str, SchemeKind, TreeKind, str]:
+        return (self.attack, self.scheme, self.tree, self.window)
+
+
+class SecurityOracle:
+    """A claims table plus the trial classifier."""
+
+    def __init__(self, claims: Iterable[SecurityClaim]) -> None:
+        self._claims: Dict[
+            Tuple[str, SchemeKind, TreeKind, str], SecurityClaim
+        ] = {}
+        for claim in claims:
+            if claim.key in self._claims:
+                raise SecurityClaimError(
+                    f"duplicate claim for {claim.key}"
+                )
+            self._claims[claim.key] = claim
+
+    def claims(self) -> List[SecurityClaim]:
+        """All claims in deterministic order."""
+        return [
+            self._claims[key]
+            for key in sorted(
+                self._claims,
+                key=lambda k: (k[0], k[1].value, k[2].value, k[3]),
+            )
+        ]
+
+    def claim_for(
+        self,
+        attack: str,
+        scheme: SchemeKind,
+        tree: TreeKind,
+        window: str,
+    ) -> SecurityClaim:
+        """The declared claim, or :class:`SecurityClaimError` if absent."""
+        claim = self._claims.get((attack, scheme, tree, window))
+        if claim is None:
+            raise SecurityClaimError(
+                f"no security claim declared for attack {attack!r} "
+                f"against {scheme.value}/{tree.value} in window "
+                f"{window!r} — declare the expectation before running "
+                "the campaign"
+            )
+        return claim
+
+    @staticmethod
+    def classify(
+        claim: SecurityClaim, outcome: Outcome, degenerate: bool
+    ) -> Verdict:
+        """One trial's verdict against its claim."""
+        if degenerate:
+            return Verdict.VACUOUS
+        if outcome in ACCEPTED_OUTCOMES[claim.expected]:
+            return Verdict.AS_CLAIMED
+        return Verdict.VIOLATION
+
+
+#: Every (scheme, tree) pair the controller factory accepts.
+SUPPORTED_SYSTEMS: Tuple[Tuple[SchemeKind, TreeKind], ...] = (
+    (SchemeKind.WRITE_BACK, TreeKind.BONSAI),
+    (SchemeKind.STRICT_PERSISTENCE, TreeKind.BONSAI),
+    (SchemeKind.OSIRIS, TreeKind.BONSAI),
+    (SchemeKind.SELECTIVE, TreeKind.BONSAI),
+    (SchemeKind.AGIT_READ, TreeKind.BONSAI),
+    (SchemeKind.AGIT_PLUS, TreeKind.BONSAI),
+    (SchemeKind.WRITE_BACK, TreeKind.SGX),
+    (SchemeKind.STRICT_PERSISTENCE, TreeKind.SGX),
+    (SchemeKind.OSIRIS, TreeKind.SGX),
+    (SchemeKind.ASIT, TreeKind.SGX),
+)
+
+#: Attack classes that have a mid-recovery (crash-window) variant —
+#: must match :data:`repro.attacks.catalogue._WINDOWED_CLASSES`.
+_WINDOWED = frozenset(
+    {"counter_replay", "line_replay", "tree_replay", "shadow_forge"}
+)
+
+_CITE_SELECTIVE = (
+    'Osiris [8], quoted in Anubis §7: "since not protecting the '
+    "majority of counters, [selective persistence] could result in "
+    "replay attacks as stale values of counters may occur for these "
+    'counters after a crash"'
+)
+_CITE_WRITE_BACK_BONSAI = (
+    "Anubis §2.5: write-back counters admit stale-but-consistent "
+    "(data, counter) replay; the adopt-the-rebuilt-root restore path "
+    "blesses whatever era memory holds"
+)
+_CITE_WRITE_BACK_SGX = (
+    "Anubis §2/§6: a lazily-updated SGX-style tree leaves no "
+    "trustworthy post-crash root, so a recorded consistent "
+    "(data, version, MAC) chain replays without detection"
+)
+_CITE_OSIRIS_SGX = (
+    "Anubis §6: Osiris stop-loss recovers counters, but SGX-style MAC "
+    "trees cannot be rebuilt from data alone and no root anchor "
+    "survives the crash — replayed consistent chains verify"
+)
+
+#: (scheme, tree) pairs where a full-triple replay is a *documented*
+#: vulnerability rather than a defect of this reproduction.
+_LINE_REPLAY_VULNERABLE: Dict[Tuple[SchemeKind, TreeKind], str] = {
+    (SchemeKind.SELECTIVE, TreeKind.BONSAI): _CITE_SELECTIVE,
+    (SchemeKind.WRITE_BACK, TreeKind.BONSAI): _CITE_WRITE_BACK_BONSAI,
+    (SchemeKind.WRITE_BACK, TreeKind.SGX): _CITE_WRITE_BACK_SGX,
+    (SchemeKind.OSIRIS, TreeKind.SGX): _CITE_OSIRIS_SGX,
+}
+
+
+def default_oracle() -> SecurityOracle:
+    """The per-scheme claims table for the built-in attack catalogue.
+
+    The reasoning, per attack class:
+
+    * ``counter_replay`` — the data stays current, so a rolled-back
+      slot cannot decrypt it (ECC/MAC) and a changed block cannot pass
+      the tree walk; recovery schemes may instead legitimately repair
+      the block from data.  Either way: detected or recovered, never
+      silent, for *every* scheme.
+    * ``line_replay`` — the planted triple is self-consistent; only a
+      freshness anchor outside NVM distinguishes it.  Schemes with an
+      on-chip root (or ASIT's verified Shadow Table) must detect;
+      schemes whose restore adopts what memory implies, or whose lazy
+      tree loses its root at the crash, are known-vulnerable (cited).
+    * ``data_splice`` / ``counter_splice`` — address-bound IVs and MACs
+      (and parent hashes over block bytes) make cross-line splices
+      detectable everywhere; recovery may first repair a spliced
+      counter block, so counter splices accept recovery too.
+    * ``tree_replay`` — data and counters are untouched, so wrong
+      plaintext cannot be served; the stale node either fails its
+      parent check or is legitimately rebuilt by recovery.
+    * ``shadow_forge`` / ``shadow_splice`` — AGIT recovery repairs the
+      (wrong) blocks the forged tables name and must then fail the
+      root comparison, unless the forgery happened to be harmless and
+      recovery converges — detected or recovered.  ASIT's Shadow Table
+      is covered by its own eager tree root, so any forgery is a hard
+      detect.
+    """
+    claims: List[SecurityClaim] = []
+
+    def declare(
+        attack: str,
+        scheme: SchemeKind,
+        tree: TreeKind,
+        expected: Expectation,
+        citation: str = "",
+    ) -> None:
+        windows = [WINDOW_AT_CRASH]
+        if attack in _WINDOWED and scheme_has_recovery(scheme, tree):
+            windows.append(WINDOW_MID_RECOVERY)
+        for window in windows:
+            claims.append(
+                SecurityClaim(attack, scheme, tree, window, expected, citation)
+            )
+
+    detect = Expectation.DETECTED
+    either = Expectation.DETECTED_OR_RECOVERED
+    vulnerable = Expectation.KNOWN_VULNERABLE
+
+    for scheme, tree in SUPPORTED_SYSTEMS:
+        declare("counter_replay", scheme, tree, either)
+        declare("data_splice", scheme, tree, detect)
+        declare("counter_splice", scheme, tree, either)
+        declare("tree_replay", scheme, tree, either)
+        citation = _LINE_REPLAY_VULNERABLE.get((scheme, tree))
+        if citation is not None:
+            declare("line_replay", scheme, tree, vulnerable, citation)
+        else:
+            declare("line_replay", scheme, tree, detect)
+        if scheme in (SchemeKind.AGIT_READ, SchemeKind.AGIT_PLUS):
+            declare("shadow_forge", scheme, tree, either)
+            declare("shadow_splice", scheme, tree, either)
+        elif scheme is SchemeKind.ASIT:
+            declare("shadow_forge", scheme, tree, detect)
+            declare("shadow_splice", scheme, tree, detect)
+    return SecurityOracle(claims)

@@ -15,6 +15,10 @@ Commands:
 * ``faults`` — run a deterministic fault-injection campaign (crash
   points × fault catalogue through recovery) and print the coverage
   matrix; exits nonzero on silent corruption;
+* ``attack`` — run an active-adversary campaign (replay, rollback,
+  splicing, shadow-table forgery) and judge every trial against the
+  per-scheme security-claims oracle; ``--list`` enumerates the
+  catalogue; exits 5 when a claim is violated;
 * ``trace`` — generate a workload trace and save it to a ``.rptr``
   file for later replay;
 * ``experiments`` — shorthand for ``python -m repro.experiments``.
@@ -282,12 +286,15 @@ def _resolve_faults_system(args: argparse.Namespace):
     return config
 
 
-#: ``repro faults`` exit codes, distinct so CI can tell regressions
-#: apart: 3 = at least one SILENT_CORRUPTION trial, 4 = at least one
-#: RECOVERY_FAILED trial (and no silent corruption).  2 stays reserved
-#: for :class:`~repro.errors.ReproError` (see :func:`main`).
+#: ``repro faults`` / ``repro attack`` exit codes, distinct so CI can
+#: tell regressions apart: 3 = at least one SILENT_CORRUPTION trial,
+#: 4 = at least one RECOVERY_FAILED trial (and no silent corruption),
+#: 5 = an attack campaign contradicted a declared security claim.
+#: 2 stays reserved for :class:`~repro.errors.ReproError` (see
+#: :func:`main`).
 EXIT_SILENT_CORRUPTION = 3
 EXIT_RECOVERY_FAILED = 4
+EXIT_CLAIM_VIOLATION = 5
 
 
 def _command_faults(args: argparse.Namespace) -> int:
@@ -348,6 +355,83 @@ def _command_faults(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_RECOVERY_FAILED
+    return 0
+
+
+def _command_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import (
+        AttackCampaignConfig,
+        catalogue_listing,
+        format_attack_matrix,
+        format_attack_summary,
+        run_attack_campaign,
+    )
+    from repro.faults.models import WINDOW_AT_CRASH, WINDOW_MID_RECOVERY
+    from repro.sim.checkpoint import write_artifact
+    from repro.sim.parallel import ParallelSweepExecutor
+
+    if args.list:
+        rows = [("attack class", "windows", "description")] + [
+            tuple(row) for row in catalogue_listing()
+        ]
+        widths = [
+            max(len(row[i]) for row in rows) for i in range(3)
+        ]
+        for index, row in enumerate(rows):
+            print("  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip())
+            if index == 0:
+                print("  ".join("-" * width for width in widths))
+        return 0
+
+    config = _resolve_faults_system(args)
+    if args.window == "both":
+        windows = (WINDOW_AT_CRASH, WINDOW_MID_RECOVERY)
+    else:
+        windows = (args.window,)
+    campaign = AttackCampaignConfig(
+        system=config,
+        seed=args.seed,
+        trials=args.trials,
+        workload=args.workload,
+        trace_length=args.length,
+        num_crash_points=args.crash_points,
+        probe_reads=args.probe_reads,
+        windows=windows,
+    )
+    executor = ParallelSweepExecutor(
+        args.jobs, timeout=args.timeout, retries=args.retries
+    )
+    result = run_attack_campaign(
+        campaign, checkpoint_dir=args.resume, executor=executor
+    )
+    print(format_attack_summary(result))
+    print()
+    print(format_attack_matrix(result))
+    violations = result.violations()
+    for trial in violations[:10]:
+        print(
+            f"\nVIOLATION: trial #{trial.index} {trial.attack} "
+            f"({trial.window}) at crash point {trial.crash_point} -> "
+            f"{trial.outcome.value}, but the claim is "
+            f"{trial.expected.value}"
+        )
+        print(f"  {trial.description}")
+        if trial.detail:
+            print(f"  {trial.detail}")
+    if args.resume:
+        artifact = os.path.join(args.resume, "attack_campaign.json")
+        write_artifact(artifact, result.to_dict(), kind="attack-campaign")
+        print(f"\nattack-campaign artifact written to {artifact}")
+    if violations and not args.allow_violations:
+        print(
+            f"\nFAIL: {len(violations)} trial(s) contradict the declared "
+            "security claims (silent acceptance of tampered state, or an "
+            "unprincipled recovery crash)",
+            file=sys.stderr,
+        )
+        return EXIT_CLAIM_VIOLATION
     return 0
 
 
@@ -537,6 +621,105 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process execution (default: 2)",
     )
     faults.set_defaults(handler=_command_faults)
+
+    attack = commands.add_parser(
+        "attack",
+        help="active-adversary campaign judged against per-scheme "
+        "security claims",
+    )
+    attack.add_argument(
+        "--list",
+        action="store_true",
+        help="enumerate the attack catalogue and exit",
+    )
+    attack.add_argument(
+        "--scheme",
+        choices=[kind.value for kind in SchemeKind] + ["anubis"],
+        default="anubis",
+        help="persistence scheme; 'anubis' = AGIT+ (bonsai) / ASIT (sgx)",
+    )
+    attack.add_argument(
+        "--tree",
+        choices=[kind.value for kind in TreeKind] + ["bmt"],
+        default=None,
+        help="integrity-tree family; 'bmt' is an alias for bonsai",
+    )
+    attack.add_argument(
+        "--capacity-gib",
+        type=int,
+        default=1,
+        help="memory capacity in GiB (default: 1)",
+    )
+    attack.add_argument(
+        "--cache-kib",
+        type=int,
+        default=32,
+        help="metadata cache size in KiB (default: 32)",
+    )
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="cap the trial count (default: exhaustive — every crash "
+        "point x every applicable attack once)",
+    )
+    attack.add_argument(
+        "--window",
+        choices=["at_crash", "mid_recovery", "both"],
+        default="both",
+        help="tamper window(s) to exercise (default: both)",
+    )
+    attack.add_argument(
+        "--workload",
+        choices=["hammer"] + profile_names(),
+        default="hammer",
+        help="warmup workload (default: hammer, a rewrite-heavy hot set)",
+    )
+    attack.add_argument("--length", type=int, default=2_000)
+    attack.add_argument(
+        "--crash-points",
+        type=int,
+        default=6,
+        help="crash points sampled from the trace",
+    )
+    attack.add_argument("--probe-reads", type=int, default=8)
+    attack.add_argument(
+        "--allow-violations",
+        action="store_true",
+        help="exit 0 even when trials contradict the declared claims "
+        "(debugging only)",
+    )
+    attack.add_argument(
+        "--jobs",
+        metavar="N",
+        default="1",
+        help="worker processes for the trials ('auto' = one per core; "
+        "verdicts are identical for any job count)",
+    )
+    attack.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory: journal every completed trial and "
+        "skip journaled trials on re-run (also writes "
+        "DIR/attack_campaign.json)",
+    )
+    attack.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-trial-slice timeout (default: no limit)",
+    )
+    attack.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=2,
+        help="retry rounds for failed worker slices (default: 2)",
+    )
+    attack.set_defaults(handler=_command_attack)
 
     trace = commands.add_parser(
         "trace", help="generate a workload trace file"

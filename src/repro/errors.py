@@ -70,6 +70,25 @@ class SilentCorruptionError(ReproError):
     that classification to be fatal."""
 
 
+class SecurityClaimError(ReproError):
+    """The security-claims oracle itself is mis-declared: a missing
+    (attack, scheme, window) entry, or a ``KNOWN_VULNERABLE`` claim
+    without a paper citation.
+
+    Raised at oracle construction or lookup time — a campaign must not
+    run against an oracle that cannot classify every trial it will
+    produce."""
+
+
+class SecurityClaimViolationError(ReproError):
+    """Observed behavior contradicts a declared security claim.
+
+    Raised by the attack-campaign layer (:mod:`repro.attacks`) when a
+    trial lands outside its claim's accepted outcomes — most seriously,
+    when a scheme not declared ``KNOWN_VULNERABLE`` silently accepts
+    tampered state."""
+
+
 class CrashError(ReproError):
     """Misuse of the crash-injection machinery (e.g. recovering a system
     that never crashed)."""

@@ -15,6 +15,7 @@ paper's figure plots.  ``python -m repro.experiments`` runs them all
 | Fig. 13 — performance sensitivity to cache size | :mod:`repro.experiments.fig13_cache_sensitivity` |
 | headline numbers (abstract/§1) | :mod:`repro.experiments.headline` |
 | extra: recovery vs dirty footprint | :mod:`repro.experiments.extra_dirty_footprint` |
+| extra: scheme × attack security matrix | :mod:`repro.experiments.security_matrix` |
 """
 
 from repro.experiments import (
@@ -26,6 +27,7 @@ from repro.experiments import (
     fig12_recovery_time,
     fig13_cache_sensitivity,
     headline,
+    security_matrix,
 )
 from repro.experiments.reporting import format_markdown_table
 
@@ -38,5 +40,6 @@ __all__ = [
     "fig12_recovery_time",
     "fig13_cache_sensitivity",
     "headline",
+    "security_matrix",
     "format_markdown_table",
 ]

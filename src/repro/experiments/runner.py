@@ -53,6 +53,7 @@ from repro.experiments import (
     fig12_recovery_time,
     fig13_cache_sensitivity,
     headline,
+    security_matrix,
 )
 
 
@@ -199,6 +200,19 @@ def _run_fault_coverage(full: bool, jobs: int = 1) -> dict:
     }
 
 
+def _run_security_matrix(full: bool, jobs: int = 1) -> dict:
+    result = security_matrix.run(
+        trace_length=2_000 if full else 1_200,
+        num_crash_points=4 if full else 3,
+        jobs=jobs,
+    )
+    print("Extra — scheme x attack security matrix")
+    print(security_matrix.format_table(result))
+    # A violated claim is an experiment failure, not a table footnote.
+    result.require_as_claimed()
+    return result.to_dict()
+
+
 EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "fig05": _run_fig05,
     "fig07": _run_fig07,
@@ -209,6 +223,7 @@ EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "headline": _run_headline,
     "dirty_footprint": _run_dirty_footprint,
     "fault_coverage": _run_fault_coverage,
+    "security_matrix": _run_security_matrix,
 }
 
 

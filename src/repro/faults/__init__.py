@@ -24,6 +24,7 @@ demonstrates the classifier *can* flag it.
 """
 
 from repro.faults.campaign import (
+    CLASSIFIED_OUTCOMES,
     CampaignConfig,
     CampaignResult,
     Outcome,
@@ -33,6 +34,8 @@ from repro.faults.campaign import (
     run_campaign,
 )
 from repro.faults.models import (
+    WINDOW_AT_CRASH,
+    WINDOW_MID_RECOVERY,
     BitFlipFault,
     CleanCrashFault,
     DroppedFlushFault,
@@ -49,6 +52,9 @@ from repro.faults.report import coverage_matrix, format_matrix
 
 __all__ = [
     "Outcome",
+    "CLASSIFIED_OUTCOMES",
+    "WINDOW_AT_CRASH",
+    "WINDOW_MID_RECOVERY",
     "CampaignConfig",
     "CampaignResult",
     "TrialResult",

@@ -23,15 +23,28 @@ the live controller.  Every trial then:
 Outcome taxonomy (:class:`Outcome`):
 
 * ``RECOVERED`` — every probe returned the latest pre-crash plaintext.
-* ``DETECTED_UNRECOVERABLE`` — recovery or a probe read raised an
-  integrity/recovery/ECC error: the system *refused* rather than lied.
-  Stale-but-consistent data does not count as recovered — serving any
-  plaintext other than the newest is precisely the freshness violation
-  Anubis exists to stop.
+* ``DETECTED_UNRECOVERABLE`` — an *accidental* fault made recovery or a
+  probe read raise an integrity/recovery/ECC error: the system
+  *refused* rather than lied.  Stale-but-consistent data does not count
+  as recovered — serving any plaintext other than the newest is
+  precisely the freshness violation Anubis exists to stop.
+* ``TAMPER_DETECTED`` — the same refusal, but the trial's fault model
+  was a *deliberate* adversary (``model.tamper``).  Failing closed
+  against tampering is the scheme doing its job, so it gets its own
+  column (and exit code) instead of being folded into recovery failure.
+  Any ``ReproError`` raised against a tamper model counts: refusing a
+  forged shadow table with a :class:`~repro.errors.LayoutError` is
+  still a principled refusal.
 * ``RECOVERY_FAILED`` — recovery or a probe died on an exception that
   is *not* a principled detection (a harness-visible bug).
 * ``SILENT_CORRUPTION`` — a probe returned wrong plaintext with no
   exception.  The unforgivable outcome.
+
+Tamper models also carry a *window* (:data:`~repro.faults.models.
+WINDOW_AT_CRASH` or :data:`~repro.faults.models.WINDOW_MID_RECOVERY`).
+A mid-recovery model's mutation lands *between* a nested recovery crash
+and the recovery restart — the crash-window attack surface — instead of
+between the power failure and the first boot.
 """
 
 from __future__ import annotations
@@ -51,9 +64,12 @@ from repro.errors import (
     EccError,
     IntegrityError,
     RecoveryError,
+    ReproError,
     SilentCorruptionError,
 )
 from repro.faults.models import (
+    WINDOW_AT_CRASH,
+    WINDOW_MID_RECOVERY,
     FaultModel,
     InjectedFault,
     InjectionContext,
@@ -77,6 +93,26 @@ from repro.util.stats import StatGroup
 #: Exceptions that count as *principled detection*: the controller or
 #: recovery engine noticed the corruption and refused to proceed.
 DETECTED_ERRORS = (IntegrityError, RecoveryError, EccError)
+
+
+def _refusal_outcome(
+    model: FaultModel, exc: BaseException
+) -> Optional["Outcome"]:
+    """How an exception classifies, or None for a harness-visible bug.
+
+    Accidental faults must surface as one of :data:`DETECTED_ERRORS`;
+    anything else is a recovery failure.  Deliberate tampering
+    (``model.tamper``) widens the net to every :class:`ReproError` —
+    refusing a forged shadow table with a ``LayoutError`` is the scheme
+    failing closed, not breaking.
+    """
+    if isinstance(exc, DETECTED_ERRORS):
+        if getattr(model, "tamper", False):
+            return Outcome.TAMPER_DETECTED
+        return Outcome.DETECTED_UNRECOVERABLE
+    if getattr(model, "tamper", False) and isinstance(exc, ReproError):
+        return Outcome.TAMPER_DETECTED
+    return None
 
 #: The default campaign workload.  SPEC-like profiles sweep footprints
 #: far larger than a short warmup trace, so lines are almost never
@@ -108,8 +144,18 @@ class Outcome(Enum):
 
     RECOVERED = "RECOVERED"
     DETECTED_UNRECOVERABLE = "DETECTED_UNRECOVERABLE"
+    TAMPER_DETECTED = "TAMPER_DETECTED"
     RECOVERY_FAILED = "RECOVERY_FAILED"
     SILENT_CORRUPTION = "SILENT_CORRUPTION"
+
+
+#: The outcomes that mean "the scheme behaved as designed": correct
+#: recovery, or a principled refusal of corrupted/tampered state.
+CLASSIFIED_OUTCOMES = (
+    Outcome.RECOVERED,
+    Outcome.DETECTED_UNRECOVERABLE,
+    Outcome.TAMPER_DETECTED,
+)
 
 
 class _RecoveryPowerFailure(Exception):
@@ -255,13 +301,12 @@ class CampaignResult:
 
     @property
     def classified_fraction(self) -> float:
-        """Fraction of trials ending RECOVERED or DETECTED_UNRECOVERABLE."""
+        """Fraction of trials ending in a :data:`CLASSIFIED_OUTCOMES`
+        state — recovered, or detection of an accident or a tamper."""
         if not self.trials:
             return 1.0
         good = sum(
-            1
-            for t in self.trials
-            if t.outcome in (Outcome.RECOVERED, Outcome.DETECTED_UNRECOVERABLE)
+            1 for t in self.trials if t.outcome in CLASSIFIED_OUTCOMES
         )
         return good / len(self.trials)
 
@@ -331,6 +376,23 @@ def _recovery_engine(config: SystemConfig, reborn, nvm):
     # Strict persistence (memory is always consistent) and write-back /
     # Osiris on SGX trees (nothing to rebuild from): boot and read.
     return None
+
+
+def scheme_has_recovery(scheme: SchemeKind, tree: TreeKind) -> bool:
+    """Whether :func:`_recovery_engine` dispatches anything for this
+    scheme — i.e. whether a mid-recovery tamper window exists at all."""
+    if scheme in (SchemeKind.AGIT_READ, SchemeKind.AGIT_PLUS, SchemeKind.ASIT):
+        return True
+    return tree is TreeKind.BONSAI and scheme in (
+        SchemeKind.OSIRIS,
+        SchemeKind.WRITE_BACK,
+        SchemeKind.SELECTIVE,
+    )
+
+
+def has_recovery_engine(config: SystemConfig) -> bool:
+    """:func:`scheme_has_recovery` for a full system config."""
+    return scheme_has_recovery(config.scheme, config.tree)
 
 
 def _probe_targets(
@@ -759,10 +821,20 @@ def _classify_trial(
         record_nvm=record_nvm,
         record_oracle=record_oracle,
     )
-    fault = model.inject(rng, ctx)
     tracer = current_tracer()
-    if tracer.enabled:
-        tracer.emit("fault.inject", ns=0.0, model=model.name, trial=index)
+    window = getattr(model, "window", WINDOW_AT_CRASH)
+    fault: Optional[InjectedFault] = None
+
+    def inject_now() -> None:
+        nonlocal fault
+        fault = model.inject(rng, ctx)
+        if tracer.enabled:
+            tracer.emit(
+                "fault.inject", ns=0.0, model=model.name, trial=index
+            )
+
+    if window == WINDOW_AT_CRASH:
+        inject_now()
 
     reborn = build_controller(config, keys=keys, nvm=trial_nvm, layout=layout)
     restore_chip_state(reborn, image.chip)
@@ -770,17 +842,43 @@ def _classify_trial(
     trial = TrialResult(
         index=index,
         fault=model.name,
-        description=fault.description,
+        description="",
         crash_point=crash_point,
         outcome=Outcome.RECOVERED,
         nested_step=nested,
-        degenerate=fault.degenerate,
     )
+
+    def finish() -> TrialResult:
+        if fault is not None:
+            trial.description = fault.description
+            trial.degenerate = fault.degenerate
+        else:
+            # Recovery refused (or died) on the clean image before the
+            # mid-recovery tamper window even opened.
+            trial.description = "refused before the tamper window opened"
+            trial.degenerate = True
+        return trial
 
     engine = _recovery_engine(config, reborn, trial_nvm)
     try:
         if engine is not None:
-            if nested is not None:
+            if window == WINDOW_MID_RECOVERY:
+                # Crash-window attack: recovery starts, power fails
+                # again after ``steps`` device writes, the adversary
+                # tampers while the machine is dark, and the restarted
+                # recovery must still refuse or repair.
+                steps = nested if nested is not None else 1 + rng.randrange(7)
+                trial.nested_step = steps
+                interrupted = _recovery_engine(
+                    config, reborn, _InterruptingNvm(trial_nvm, steps)
+                )
+                try:
+                    interrupted.run()
+                except _RecoveryPowerFailure:
+                    pass
+                inject_now()
+                _recovery_engine(config, reborn, trial_nvm).run()
+            elif nested is not None:
                 interrupted = _recovery_engine(
                     config, reborn, _InterruptingNvm(trial_nvm, nested)
                 )
@@ -792,15 +890,19 @@ def _classify_trial(
                     _recovery_engine(config, reborn, trial_nvm).run()
             else:
                 engine.run()
-    except DETECTED_ERRORS as exc:
-        trial.outcome = Outcome.DETECTED_UNRECOVERABLE
-        trial.detected_at = "recovery"
-        trial.detail = f"{type(exc).__name__}: {exc}"
-        return trial
+        if fault is None:
+            # Mid-recovery window on a scheme with no recovery engine
+            # degenerates to tampering at the crash.
+            inject_now()
     except Exception as exc:  # noqa: BLE001 — classification, not flow
-        trial.outcome = Outcome.RECOVERY_FAILED
+        refused = _refusal_outcome(model, exc)
+        if refused is not None:
+            trial.outcome = refused
+            trial.detected_at = "recovery"
+        else:
+            trial.outcome = Outcome.RECOVERY_FAILED
         trial.detail = f"{type(exc).__name__}: {exc}"
-        return trial
+        return finish()
 
     probes = _probe_targets(
         rng,
@@ -812,18 +914,21 @@ def _classify_trial(
     )
     trial.probed = len(probes)
     mismatched: List[int] = []
-    detected_reads = 0
+    detection: Optional[Outcome] = None
     for address in probes:
         try:
             value = reborn.read(address)
-        except DETECTED_ERRORS as exc:
-            detected_reads += 1
+        except Exception as exc:  # noqa: BLE001
+            refused = _refusal_outcome(model, exc)
+            if refused is None:
+                trial.outcome = Outcome.RECOVERY_FAILED
+                trial.detail = (
+                    f"probe {address:#x} -> {type(exc).__name__}: {exc}"
+                )
+                return finish()
+            detection = refused
             trial.detail = f"{type(exc).__name__}: {exc}"
             continue
-        except Exception as exc:  # noqa: BLE001
-            trial.outcome = Outcome.RECOVERY_FAILED
-            trial.detail = f"probe {address:#x} -> {type(exc).__name__}: {exc}"
-            return trial
         if value != image.oracle[address]:
             mismatched.append(address)
     if mismatched:
@@ -832,9 +937,9 @@ def _classify_trial(
             f"{len(mismatched)} probe(s) returned wrong plaintext, e.g. "
             f"{mismatched[0]:#x}"
         )
-    elif detected_reads:
-        trial.outcome = Outcome.DETECTED_UNRECOVERABLE
+    elif detection is not None:
+        trial.outcome = detection
         trial.detected_at = "read"
     else:
         trial.outcome = Outcome.RECOVERED
-    return trial
+    return finish()

@@ -65,10 +65,28 @@ class InjectedFault:
     degenerate: bool = False
 
 
+#: When a fault model tampers, the runner needs to know *when* the
+#: adversary acts relative to recovery.
+WINDOW_AT_CRASH = "at_crash"
+WINDOW_MID_RECOVERY = "mid_recovery"
+WINDOWS = (WINDOW_AT_CRASH, WINDOW_MID_RECOVERY)
+
+
 class FaultModel:
     """Base class: a named, deterministic fault generator."""
 
     name: str = "fault"
+    #: True for *deliberate* tampering (an active adversary) as opposed
+    #: to accidental corruption.  The campaign classifies a refused
+    #: tamper trial as :attr:`Outcome.TAMPER_DETECTED` — fail-closed by
+    #: design — instead of folding it into detection of accidents or,
+    #: worse, recovery failure.
+    tamper: bool = False
+    #: When the mutation lands: ``"at_crash"`` (between power failure
+    #: and reboot) or ``"mid_recovery"`` (recovery started, crashed
+    #: after some device writes, and the adversary tampers before the
+    #: recovery restart).
+    window: str = WINDOW_AT_CRASH
 
     def applies_to(self, config: SystemConfig) -> bool:
         """Whether this fault is meaningful for the given system."""
@@ -267,6 +285,7 @@ class RollbackFault(FaultModel):
     """
 
     name = "rollback"
+    tamper = True
 
     def inject(self, rng: random.Random, ctx: InjectionContext) -> InjectedFault:
         if ctx.record_nvm is None or ctx.record_oracle is None:
@@ -306,6 +325,8 @@ class ShadowTamperFault(FaultModel):
     Either way the tables no longer describe the lost cache content, and
     recovery must refuse rather than reconstruct a wrong state.
     """
+
+    tamper = True
 
     def __init__(self, table: str, mode: str = "random") -> None:
         if table not in ("sct", "smt", "st"):

@@ -20,6 +20,7 @@ OUTCOME_COLUMNS = [outcome.value for outcome in Outcome]
 _SHORT = {
     "RECOVERED": "recovered",
     "DETECTED_UNRECOVERABLE": "detected",
+    "TAMPER_DETECTED": "tamper-det",
     "RECOVERY_FAILED": "rec-failed",
     "SILENT_CORRUPTION": "SILENT!",
 }
@@ -68,6 +69,7 @@ def format_summary(result: CampaignResult) -> str:
         f"trials={total} over {len(result.crash_points)} crash points "
         f"(trace of {result.trace_length} requests)",
         f"classified RECOVERED/DETECTED: {result.classified_fraction:.1%}",
+        f"tamper detected (refused): {totals[Outcome.TAMPER_DETECTED.value]}",
         f"silent corruption: {silent}",
     ]
     return "\n".join(lines)

@@ -68,6 +68,18 @@ EVENT_SCHEMA: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("trial", "model", "outcome"),
         "one fault-campaign trial classified",
     ),
+    "attack.inject": (
+        ("attack", "trial", "window"),
+        "an adversary tampered with the persistent domain",
+    ),
+    "attack.detected": (
+        ("attack", "trial"),
+        "tampered state was detected and refused (fail-closed)",
+    ),
+    "attack.missed": (
+        ("attack", "trial"),
+        "tampered state was silently accepted — a security escape",
+    ),
     "recovery.begin": (
         ("engine",),
         "a recovery engine started",

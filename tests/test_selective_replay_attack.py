@@ -18,10 +18,17 @@ succeeds silently.  Under AGIT the on-chip root is the anchor, recovery
 repairs the counter from the (current) data, and the planted state is
 detected.  Under plain write-back the read simply fails (no recovery at
 all), which is safe but useless.
+
+These tests are the regression alias for the catalogue's
+``line_replay`` attack (:class:`repro.attacks.LineReplayAttack`): the
+record/plant steps below call the catalogue's own helpers, so the
+hand-staged scenario and the campaign attack can never drift apart.
+Campaign-scale coverage lives in ``tests/test_attacks.py``.
 """
 
 import pytest
 
+from repro.attacks import LineReplayAttack
 from repro.config import SchemeKind
 from repro.core.recovery_agit import AgitRecovery
 from repro.errors import IntegrityError, RootMismatchError
@@ -42,21 +49,17 @@ def non_persistent_line(controller) -> int:
 
 def stage_attack(controller, victim_address):
     """Steps 1-3: victim writes, attacker records, crash, plant."""
-    counter_address = controller.layout.counter_block_for(victim_address)
     controller.write(victim_address, SECRET_V1)
     controller.writeback_all()  # v1 era fully in NVM (normal evictions)
-    recorded = (
-        controller.nvm.peek(victim_address),
-        controller.nvm.read_ecc(victim_address),
-        controller.nvm.peek(counter_address),
+    recorded = LineReplayAttack.record_triple(
+        controller.nvm, controller.layout, victim_address
     )
     controller.write(victim_address, SECRET_V2)  # data persists; counter
     crash(controller)                            # update is on-chip only
     # the attacker plants the v1-era state
-    cipher, sideband, counter_block = recorded
-    controller.nvm.poke(victim_address, cipher)
-    controller.nvm.write_ecc(victim_address, sideband)
-    controller.nvm.poke(counter_address, counter_block)
+    LineReplayAttack.plant(
+        controller.nvm, controller.layout, victim_address, recorded
+    )
     return reincarnate(controller)
 
 
