@@ -263,9 +263,11 @@ def run_attack_campaign(
     """Run one adversary campaign and judge it against the oracle.
 
     Identical execution semantics to :func:`~repro.faults.campaign.
-    run_campaign` (jobs, checkpointing, resume, supervision); the
-    oracle is consulted for every (attack, window) pair *up front* so
-    an undeclared claim fails before any warmup work happens.
+    run_campaign` (jobs, checkpointing, resume, supervision, and the
+    content-addressed result cache — verdicts are re-derived from the
+    merged trials, so cached trials judge identically); the oracle is
+    consulted for every (attack, window) pair *up front* so an
+    undeclared claim fails before any warmup work happens.
     """
     campaign = _fault_campaign(attack)
     oracle = attack.oracle if attack.oracle is not None else default_oracle()
@@ -304,10 +306,11 @@ def run_attack_campaign(
             degenerate=trial.degenerate,
         )
 
-    tracer = current_tracer()
-
     def watch(trial: TrialResult) -> None:
         judged = judge(trial)
+        # Resolved per trial, not snapshotted before the run — a
+        # session armed while the campaign executes still sees events.
+        tracer = current_tracer()
         if tracer.enabled:
             tracer.emit(
                 "attack.inject",

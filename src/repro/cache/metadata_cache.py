@@ -13,7 +13,7 @@ from typing import Any, Optional, Tuple
 
 from repro.cache.sa_cache import Eviction, SetAssociativeCache
 from repro.config import CacheConfig
-from repro.telemetry.runtime import current_tracer
+from repro.telemetry.runtime import live_tracer
 from repro.util.stats import StatGroup
 
 
@@ -29,7 +29,7 @@ class MetadataCache:
         self.cache = SetAssociativeCache(config, name)
         self.name = name
         self.stats = stats if stats is not None else StatGroup(name)
-        self.tracer = current_tracer()
+        self.tracer = live_tracer()
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
         self._evict_clean = self.stats.counter("evictions_clean")

@@ -21,6 +21,8 @@ Commands:
   catalogue; exits 5 when a claim is violated;
 * ``trace`` — generate a workload trace and save it to a ``.rptr``
   file for later replay;
+* ``cache`` — inspect (``stats``), bound (``gc``), or wipe (``clear``)
+  the content-addressed result cache that ``--cache-dir`` runs consult;
 * ``experiments`` — shorthand for ``python -m repro.experiments``.
 """
 
@@ -286,6 +288,42 @@ def _resolve_faults_system(args: argparse.Namespace):
     return config
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache: restore completed trials "
+        "from prior runs and store fresh ones (default: "
+        "$REPRO_RESULT_CACHE if set, else no cache)",
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="ignore --cache-dir and $REPRO_RESULT_CACHE for this run",
+    )
+
+
+def _resolve_result_cache(args: argparse.Namespace):
+    """The run's result cache per flags/environment, or None."""
+    from repro.sim.result_cache import ResultCache
+
+    if getattr(args, "no_result_cache", False):
+        return None
+    directory = getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_RESULT_CACHE"
+    )
+    return ResultCache(directory) if directory else None
+
+
+def _print_cache_traffic(cache) -> None:
+    stats = cache.stats()
+    print(
+        f"\nresult cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['bytes_saved']:,} bytes saved ({cache.directory})"
+    )
+
+
 #: ``repro faults`` / ``repro attack`` exit codes, distinct so CI can
 #: tell regressions apart: 3 = at least one SILENT_CORRUPTION trial,
 #: 4 = at least one RECOVERY_FAILED trial (and no silent corruption),
@@ -302,6 +340,7 @@ def _command_faults(args: argparse.Namespace) -> int:
     from repro.faults.report import format_matrix, format_summary
     from repro.sim.checkpoint import write_artifact
     from repro.sim.parallel import ParallelSweepExecutor
+    from repro.sim.result_cache import configure_result_cache
 
     config = _resolve_faults_system(args)
     campaign = CampaignConfig(
@@ -317,9 +356,13 @@ def _command_faults(args: argparse.Namespace) -> int:
     executor = ParallelSweepExecutor(
         args.jobs, timeout=args.timeout, retries=args.retries
     )
-    result = run_campaign(
-        campaign, checkpoint_dir=args.resume, executor=executor
-    )
+    cache = configure_result_cache(_resolve_result_cache(args))
+    try:
+        result = run_campaign(
+            campaign, checkpoint_dir=args.resume, executor=executor
+        )
+    finally:
+        configure_result_cache(None)
     print(format_summary(result))
     print()
     print(format_matrix(result))
@@ -341,6 +384,8 @@ def _command_faults(args: argparse.Namespace) -> int:
         artifact = os.path.join(args.resume, "campaign.json")
         write_artifact(artifact, result.to_dict(), kind="fault-campaign")
         print(f"\ncampaign artifact written to {artifact}")
+    if cache is not None:
+        _print_cache_traffic(cache)
     if silent and not args.allow_silent:
         print(
             f"\nFAIL: {len(silent)} silent-corruption trial(s) — this "
@@ -369,6 +414,7 @@ def _command_attack(args: argparse.Namespace) -> int:
     from repro.faults.models import WINDOW_AT_CRASH, WINDOW_MID_RECOVERY
     from repro.sim.checkpoint import write_artifact
     from repro.sim.parallel import ParallelSweepExecutor
+    from repro.sim.result_cache import configure_result_cache
 
     if args.list:
         rows = [("attack class", "windows", "description")] + [
@@ -403,9 +449,13 @@ def _command_attack(args: argparse.Namespace) -> int:
     executor = ParallelSweepExecutor(
         args.jobs, timeout=args.timeout, retries=args.retries
     )
-    result = run_attack_campaign(
-        campaign, checkpoint_dir=args.resume, executor=executor
-    )
+    cache = configure_result_cache(_resolve_result_cache(args))
+    try:
+        result = run_attack_campaign(
+            campaign, checkpoint_dir=args.resume, executor=executor
+        )
+    finally:
+        configure_result_cache(None)
     print(format_attack_summary(result))
     print()
     print(format_attack_matrix(result))
@@ -424,6 +474,8 @@ def _command_attack(args: argparse.Namespace) -> int:
         artifact = os.path.join(args.resume, "attack_campaign.json")
         write_artifact(artifact, result.to_dict(), kind="attack-campaign")
         print(f"\nattack-campaign artifact written to {artifact}")
+    if cache is not None:
+        _print_cache_traffic(cache)
     if violations and not args.allow_violations:
         print(
             f"\nFAIL: {len(violations)} trial(s) contradict the declared "
@@ -432,6 +484,42 @@ def _command_attack(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_CLAIM_VIOLATION
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.sim.result_cache import ResultCache
+
+    directory = args.cache_dir or os.environ.get("REPRO_RESULT_CACHE")
+    if not directory:
+        print(
+            "error: no cache directory — pass --cache-dir or set "
+            "$REPRO_RESULT_CACHE",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(directory)
+    if args.action == "stats":
+        stats = cache.store_stats()
+        print(f"directory   : {stats['directory']}")
+        print(f"entries     : {stats['entries']:,}")
+        print(f"total bytes : {stats['total_bytes']:,}")
+        return 0
+    if args.action == "gc":
+        max_age = (
+            args.max_age_days * 86_400.0
+            if args.max_age_days is not None
+            else None
+        )
+        report = cache.gc(max_bytes=args.max_bytes, max_age_seconds=max_age)
+        print(
+            f"gc: examined {report.examined:,}, removed {report.removed:,} "
+            f"({report.removed_bytes:,} bytes), kept {report.kept:,} "
+            f"({report.kept_bytes:,} bytes)"
+        )
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed:,} entries from {cache.directory}")
     return 0
 
 
@@ -620,6 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry rounds for failed worker slices before degrading to "
         "in-process execution (default: 2)",
     )
+    _add_cache_arguments(faults)
     faults.set_defaults(handler=_command_faults)
 
     attack = commands.add_parser(
@@ -719,7 +808,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retry rounds for failed worker slices (default: 2)",
     )
+    _add_cache_arguments(attack)
     attack.set_defaults(handler=_command_attack)
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect, bound, or wipe the content-addressed result cache",
+    )
+    cache.add_argument(
+        "action",
+        choices=["stats", "gc", "clear"],
+        help="stats: what is on disk; gc: bounded eviction (oldest "
+        "first); clear: remove every entry",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="store directory (default: $REPRO_RESULT_CACHE)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help="gc: evict oldest entries until the store fits N bytes",
+    )
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        metavar="D",
+        default=None,
+        help="gc: also evict entries older than D days",
+    )
+    cache.set_defaults(handler=_command_cache)
 
     trace = commands.add_parser(
         "trace", help="generate a workload trace file"

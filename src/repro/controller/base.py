@@ -28,7 +28,7 @@ from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
 from repro.mem.timing import MemoryChannel
 from repro.mem.wpq import PersistentRegisters, WritePendingQueue
-from repro.telemetry.runtime import current_tracer
+from repro.telemetry.runtime import live_tracer
 from repro.util.stats import StatGroup
 
 #: Bytes of the per-line sideband blob: SECDED code then truncated MAC.
@@ -49,10 +49,10 @@ class SecureMemoryController(abc.ABC):
         self.layout = layout
         self.keys = keys if keys is not None else ProcessorKeys()
         self.stats = StatGroup("ctrl")
-        #: Bound once at construction: with no telemetry session this is
-        #: the shared NULL_TRACER and every emission site reduces to one
-        #: ``enabled`` check.
-        self.tracer = current_tracer()
+        #: The live-session facade: follows telemetry sessions installed
+        #: at any point in the controller's lifetime, and with none
+        #: active every emission site reduces to one ``enabled`` check.
+        self.tracer = live_tracer()
         self.channel = MemoryChannel(config.timing, self.stats)
         self.nvm = nvm if nvm is not None else NvmDevice(layout.total_size)
         self.wpq = WritePendingQueue(
@@ -82,13 +82,15 @@ class SecureMemoryController(abc.ABC):
     def access(self, request: MemoryRequest) -> Optional[bytes]:
         """Run one request through the controller; returns read data."""
         self.channel.advance(request.gap_ns)
-        if self.tracer.enabled:
+        tracer = self.tracer
+        if tracer.enabled:
             # Event timestamps use the *simulated* clock, so traces are
-            # identical across worker counts and reruns.
-            self.tracer.now = self.channel.elapsed_ns
+            # identical across worker counts and reruns.  Write straight
+            # to the session tracer — this runs once per access.
+            tracer.target.now = self.channel.elapsed_ns
         self.wpq.drain_opportunistic()
-        if self.tracer.enabled:
-            self.tracer.emit(
+        if tracer.enabled:
+            tracer.emit(
                 "mem.access",
                 op=request.op.value,
                 address=request.address,

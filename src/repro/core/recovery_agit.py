@@ -34,7 +34,7 @@ from repro.errors import RootMismatchError, UnrecoverableError
 from repro.mem.ecc import ECC_BYTES, SecdedCodec
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
-from repro.telemetry.runtime import current_tracer, span
+from repro.telemetry.runtime import live_tracer, span
 
 
 @dataclass
@@ -85,7 +85,7 @@ class AgitRecovery:
         self.ctr = CounterModeEngine(controller.keys)
         self.codec = SecdedCodec()
         self.stop_loss = self.config.encryption.stop_loss_limit
-        self.tracer = current_tracer()
+        self.tracer = live_tracer()
 
     def _step_ns(self, report: AgitRecoveryReport) -> float:
         """Event timestamp under the paper's 100ns-per-step model."""

@@ -31,7 +31,7 @@ from repro.counters.sgx import SgxCounterBlock
 from repro.errors import MacMismatchError, UnrecoverableError
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
-from repro.telemetry.runtime import current_tracer, span
+from repro.telemetry.runtime import live_tracer, span
 
 
 @dataclass
@@ -73,7 +73,7 @@ class AsitRecovery:
         self.engine = controller.engine
         self.lsb_bits = self.config.anubis.asit_lsb_bits
         self.num_slots = controller.metadata_cache.num_slots
-        self.tracer = current_tracer()
+        self.tracer = live_tracer()
 
     def _step_ns(self, report: AsitRecoveryReport) -> float:
         """Event timestamp under the paper's 100ns-per-step model."""

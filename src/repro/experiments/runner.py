@@ -36,6 +36,7 @@ from repro.sim.checkpoint import (
     write_artifact,
 )
 from repro.sim.parallel import configure_executor_defaults, resolve_jobs
+from repro.sim.result_cache import ResultCache, configure_result_cache
 from repro.telemetry.runtime import (
     TelemetrySpec,
     build_manifest,
@@ -306,6 +307,20 @@ def main(argv=None) -> int:
         action="store_true",
         help="render a live progress line on stderr as grid cells finish",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache: reuse any grid cell or "
+        "campaign trial whose config/trace/seed already completed in a "
+        "prior run, and store fresh ones (default: $REPRO_RESULT_CACHE "
+        "if set, else no cache); warm output is byte-identical to cold",
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="ignore --cache-dir and $REPRO_RESULT_CACHE for this run",
+    )
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
@@ -316,6 +331,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
     configure_executor_defaults(timeout=args.timeout, retries=args.retries)
+    cache = configure_result_cache(_resolve_cache(args))
     selected = args.experiments or list(EXPERIMENTS)
 
     run_fingerprint = fingerprint("experiments", args.full)
@@ -355,6 +371,7 @@ def main(argv=None) -> int:
         if collector is not None:
             collector.close_progress()
         configure_telemetry(None)
+        configure_result_cache(None)
 
     outputs: Dict[str, str] = {}
     if args.resume:
@@ -378,27 +395,47 @@ def main(argv=None) -> int:
             )
             outputs["metrics"] = args.metrics_out
             print(f"metrics snapshot written to {args.metrics_out}")
-        manifest_path = _manifest_path(args)
-        if manifest_path is not None:
-            outputs["manifest"] = manifest_path
-            write_manifest(
-                manifest_path,
-                build_manifest(
-                    command="experiments",
-                    config_fingerprint=run_fingerprint,
-                    arguments={
-                        "experiments": selected,
-                        "full": args.full,
-                        "jobs": jobs,
-                        "trace_detail": args.trace_detail,
-                    },
-                    collector=collector,
-                    outputs=outputs,
-                    started=started,
-                ),
-            )
-            print(f"run manifest written to {manifest_path}")
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"result cache: {stats['hits']} hits, {stats['misses']} "
+            f"misses, {stats['bytes_saved']:,} bytes saved "
+            f"({cache.directory})"
+        )
+    # The manifest documents telemetry *and* cache traffic — written
+    # whenever either was configured and an output anchors its path.
+    manifest_path = _manifest_path(args)
+    if manifest_path is not None and (
+        collector is not None or cache is not None
+    ):
+        outputs["manifest"] = manifest_path
+        write_manifest(
+            manifest_path,
+            build_manifest(
+                command="experiments",
+                config_fingerprint=run_fingerprint,
+                arguments={
+                    "experiments": selected,
+                    "full": args.full,
+                    "jobs": jobs,
+                    "trace_detail": args.trace_detail,
+                },
+                collector=collector,
+                outputs=outputs,
+                started=started,
+                result_cache=cache.stats() if cache is not None else None,
+            ),
+        )
+        print(f"run manifest written to {manifest_path}")
     return 0
+
+
+def _resolve_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The run's result cache, honoring flags then the environment."""
+    if args.no_result_cache:
+        return None
+    directory = args.cache_dir or os.environ.get("REPRO_RESULT_CACHE")
+    return ResultCache(directory) if directory else None
 
 
 def _manifest_path(args: argparse.Namespace) -> Optional[str]:

@@ -29,6 +29,7 @@ from repro.faults.campaign import (
     CampaignResult,
     Outcome,
     TrialResult,
+    campaign_cache_identity,
     campaign_fingerprint,
     open_campaign_journal,
     run_campaign,
@@ -58,6 +59,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "TrialResult",
+    "campaign_cache_identity",
     "campaign_fingerprint",
     "open_campaign_journal",
     "run_campaign",

@@ -81,7 +81,12 @@ from repro.mem.wpq import WritePendingQueue
 from repro.recovery.crash import capture_chip_state, restore_chip_state, ChipState
 from repro.recovery.osiris_full import OsirisFullRecovery
 from repro.recovery.selective import SelectiveRestore
-from repro.sim.checkpoint import CheckpointJournal, fingerprint
+from repro.sim.checkpoint import (
+    CheckpointJournal,
+    fingerprint,
+    full_fingerprint,
+)
+from repro.sim.result_cache import active_result_cache
 from repro.sim.parallel import ParallelSweepExecutor
 from repro.telemetry.runtime import current_tracer
 from repro.traces.profiles import KIB, SyntheticProfile, profile
@@ -263,6 +268,38 @@ def campaign_fingerprint(campaign: CampaignConfig) -> str:
         campaign.probe_reads,
         campaign.nested_crash_fraction,
         None if catalogue is None else [model.name for model in catalogue],
+    )
+
+
+def campaign_cache_identity(campaign: CampaignConfig) -> str:
+    """Full-width campaign identity for the content-addressed cache.
+
+    Covers the same work-defining inputs as :func:`campaign_fingerprint`
+    (which stays 16-hex for journal-header compatibility) but at the
+    full digest width, and identifies catalogue models by class, name,
+    window, and tamper flag — a cache shared across many campaigns
+    cannot afford name-only aliasing between custom catalogues.
+    """
+    catalogue = campaign.catalogue
+    return full_fingerprint(
+        "fault-campaign",
+        campaign.system,
+        campaign.seed,
+        campaign.trials,
+        campaign.workload,
+        campaign.trace_length,
+        list(campaign.crash_points) if campaign.crash_points else None,
+        campaign.num_crash_points,
+        campaign.probe_reads,
+        campaign.nested_crash_fraction,
+        None
+        if catalogue is None
+        else [
+            f"{type(model).__name__}:{model.name}:"
+            f"{getattr(model, 'window', WINDOW_AT_CRASH)}:"
+            f"{int(bool(getattr(model, 'tamper', False)))}"
+            for model in catalogue
+        ],
     )
 
 
@@ -681,6 +718,14 @@ def run_campaign(
     ``on_trial`` fires once per completed trial (journaled trials
     skipped on resume do not re-fire) — the live-progress hook campaign
     watchers use.
+
+    When a result cache is configured (see
+    :func:`repro.sim.result_cache.configure_result_cache`), trials are
+    additionally restored from / stored into the content-addressed
+    store, keyed by the full-width campaign identity and trial index.
+    Cache-restored trials behave exactly like journal-restored ones
+    (merged in plan order, no ``on_trial`` re-fire), so warm campaign
+    artifacts are byte-identical to cold ones.
     """
     plan = _build_plan(campaign)
     result = CampaignResult(
@@ -701,10 +746,32 @@ def run_campaign(
             if payload is not None:
                 completed[index] = TrialResult.from_dict(payload)
 
+    cache = active_result_cache()
+    cache_keys: Dict[int, str] = {}
+    if cache is not None:
+        identity = campaign_cache_identity(campaign)
+        for index in range(len(plan.plan)):
+            cache_keys[index] = cache.key("fault-trial", identity, index)
+            if index in completed:
+                continue
+            payload = cache.get(cache_keys[index], kind="fault-trial")
+            if payload is not None:
+                trial = TrialResult.from_dict(payload)
+                completed[index] = trial
+                if journal is not None:
+                    # Make the restore durable locally too: a later
+                    # resume must not depend on the cache still holding
+                    # this entry.
+                    journal.record(_trial_key(index), trial.to_dict())
+
     def finish(trial: TrialResult) -> None:
         completed[trial.index] = trial
         if journal is not None:
             journal.record(_trial_key(trial.index), trial.to_dict())
+        if cache is not None:
+            cache.put(
+                cache_keys[trial.index], trial.to_dict(), kind="fault-trial"
+            )
         if on_trial is not None:
             on_trial(trial)
 

@@ -25,7 +25,7 @@ from repro.crypto.hashes import hash64
 from repro.crypto.keys import ProcessorKeys
 from repro.errors import ConfigError
 from repro.mem.layout import MemoryLayout
-from repro.telemetry.runtime import current_tracer
+from repro.telemetry.runtime import live_tracer
 
 
 class BonsaiNode:
@@ -85,9 +85,9 @@ class BonsaiTreeEngine:
     def __init__(self, keys: ProcessorKeys, layout: MemoryLayout) -> None:
         self.keys = keys
         self.layout = layout
-        # Bound once at construction: NULL_TRACER outside a telemetry
+        # The live-session facade: disabled outside a telemetry
         # session, so the hot-path guard is one attribute test.
-        self._tracer = current_tracer()
+        self._tracer = live_tracer()
         # Per-level default node bytes for untouched regions. Level 0's
         # default is the all-zero split-counter block (which serializes
         # to zero bytes, the NVM's natural default); level k's default

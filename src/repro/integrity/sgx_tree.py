@@ -23,7 +23,7 @@ from repro.counters.sgx import SgxCounterBlock
 from repro.crypto.hashes import mac56
 from repro.crypto.keys import ProcessorKeys
 from repro.mem.layout import MemoryLayout
-from repro.telemetry.runtime import current_tracer
+from repro.telemetry.runtime import live_tracer
 
 
 class SgxTreeEngine:
@@ -32,9 +32,9 @@ class SgxTreeEngine:
     def __init__(self, keys: ProcessorKeys, layout: MemoryLayout) -> None:
         self.keys = keys
         self.layout = layout
-        # Bound once at construction: NULL_TRACER outside a telemetry
+        # The live-session facade: disabled outside a telemetry
         # session, so the hot-path guard is one attribute test.
-        self._tracer = current_tracer()
+        self._tracer = live_tracer()
         default = SgxCounterBlock()
         default.mac = self.compute_mac(default, parent_nonce=0)
         self._default_block = default

@@ -24,7 +24,7 @@ from repro.config import BLOCK_SIZE
 from repro.errors import WpqError
 from repro.mem.nvm import NvmDevice
 from repro.mem.timing import MemoryChannel
-from repro.telemetry.runtime import current_tracer
+from repro.telemetry.runtime import live_tracer
 from repro.util.stats import StatGroup
 
 #: A pending write: (data bytes, optional sideband ECC bytes).
@@ -68,7 +68,7 @@ class WritePendingQueue:
         self.channel = channel
         self.capacity = entries
         self.stats = stats if stats is not None else StatGroup("wpq")
-        self.tracer = current_tracer()
+        self.tracer = live_tracer()
         self._inserts = self.stats.counter("inserts")
         self._drains = self.stats.counter("drains")
         self._coalesced = self.stats.counter("coalesced")

@@ -93,9 +93,69 @@ def _digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def full_fingerprint(*parts: Any) -> str:
+    """The full 64-hex-digit sha256 fingerprint of the given values.
+
+    Long-lived content addresses (the result cache) use this: at 16 hex
+    digits a store that accumulates millions of entries would have a
+    non-negligible birthday-collision risk, and a collision silently
+    returns the wrong cell's result.
+    """
+    return _digest(canonical_json(list(parts)))
+
+
 def fingerprint(*parts: Any) -> str:
-    """A 16-hex-digit deterministic fingerprint of the given values."""
-    return _digest(canonical_json(list(parts)))[:16]
+    """A 16-hex-digit deterministic fingerprint of the given values.
+
+    The short display/journal form — collision-safe within one run's
+    worth of keys.  Content addresses that outlive a run use
+    :func:`full_fingerprint`.
+    """
+    return full_fingerprint(*parts)[:16]
+
+
+def _hash_trace_stream(trace) -> str:
+    """Full sha256 of a trace's content stream (name + every request).
+
+    The byte stream is frozen: ``name`` then, per request,
+    ``|op:address:gap_ns:`` + data.  Changing it would silently orphan
+    every journal and cache entry keyed on a trace.
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.name.encode("utf-8"))
+    buffer = bytearray()
+    for request in trace:
+        buffer += (
+            f"|{request.op.value}:{request.address}:{request.gap_ns!r}:".encode()
+        )
+        if request.data:
+            buffer += request.data
+        if len(buffer) >= _TRACE_HASH_CHUNK:
+            digest.update(buffer)
+            buffer.clear()
+    if buffer:
+        digest.update(buffer)
+    return digest.hexdigest()
+
+
+#: Flush threshold for chunked trace hashing — large enough that the
+#: per-update overhead vanishes, small enough to keep the buffer cheap.
+_TRACE_HASH_CHUNK = 1 << 20
+
+
+def trace_digest(trace) -> str:
+    """Full 64-hex-digit content digest of a trace, memoized.
+
+    :class:`~repro.traces.trace.Trace` caches the digest per instance
+    (invalidated on mutation); duck-typed request iterables are hashed
+    directly.  The result-cache key for a cell is built from this full
+    digest — see the fingerprint-truncation note on
+    :func:`full_fingerprint`.
+    """
+    compute = getattr(trace, "content_digest", None)
+    if compute is not None:
+        return compute()
+    return _hash_trace_stream(trace)
 
 
 def trace_fingerprint(trace) -> str:
@@ -103,16 +163,9 @@ def trace_fingerprint(trace) -> str:
 
     Hashes every request's (op, address, data, gap) — two traces with
     the same name but different streams get different fingerprints.
+    Short display/journal form of :func:`trace_digest`.
     """
-    digest = hashlib.sha256()
-    digest.update(trace.name.encode("utf-8"))
-    for request in trace:
-        data = request.data or b""
-        digest.update(
-            f"|{request.op.value}:{request.address}:{request.gap_ns!r}:".encode()
-        )
-        digest.update(data)
-    return digest.hexdigest()[:16]
+    return trace_digest(trace)[:16]
 
 
 def cell_fingerprint(config, trace, seed: Optional[int] = None) -> str:

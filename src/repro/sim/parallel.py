@@ -422,29 +422,74 @@ class ParallelSweepExecutor:
         is shipped inside each payload, the live progress line ticks as
         results are harvested, and the finished results are absorbed —
         in submission order — into the run's collector.
+
+        When the run configured a result cache (see
+        :func:`repro.sim.result_cache.configure_result_cache`), the
+        store is consulted before any cell is submitted and populated
+        as cold cells complete — all in this (parent) process, and all
+        reduced in submission order, so warm output stays
+        byte-identical to a cold run at any ``--jobs`` count.
         """
+        from repro.sim.result_cache import (
+            active_result_cache,
+            simulation_cell_key,
+        )
         from repro.telemetry.runtime import active_spec, run_collector
 
         spec = active_spec()
         collector = run_collector()
-        if spec is not None:
-            payloads: List[Tuple] = [
-                (config, trace, keys, spec) for config, trace in cells
-            ]
-        else:
-            payloads = [(config, trace, keys) for config, trace in cells]
+        cache = active_result_cache()
 
-        harvest = on_result
-        if collector is not None:
+        cache_keys: Dict[int, str] = {}
+        cached: Dict[int, SimulationResult] = {}
+        if cache is not None:
+            for index, (config, trace) in enumerate(cells):
+                cell_key = simulation_cell_key(
+                    cache, config, trace, keys, spec
+                )
+                cache_keys[index] = cell_key
+                payload = cache.get(cell_key, kind="simulation-result")
+                if payload is not None:
+                    cached[index] = SimulationResult.from_dict(payload)
 
-            def harvest(index: int, result: SimulationResult) -> None:
+        def deliver(index: int, result: SimulationResult) -> None:
+            if collector is not None:
                 collector.tick(events=len(result.events or []))
-                if on_result is not None:
-                    on_result(index, result)
+            if on_result is not None:
+                on_result(index, result)
+
+        results: List[Optional[SimulationResult]] = [None] * len(cells)
+        for index in sorted(cached):
+            results[index] = cached[index]
+            deliver(index, cached[index])
 
         started = time.perf_counter()
         retries_before = len(self.retry_log)
-        results = self.map(_simulate_cell, payloads, on_result=harvest)
+        cold = [index for index in range(len(cells)) if index not in cached]
+        if cold:
+            if spec is not None:
+                payloads: List[Tuple] = [
+                    (cells[index][0], cells[index][1], keys, spec)
+                    for index in cold
+                ]
+            else:
+                payloads = [
+                    (cells[index][0], cells[index][1], keys)
+                    for index in cold
+                ]
+
+            def harvest(slot: int, result: SimulationResult) -> None:
+                index = cold[slot]
+                results[index] = result
+                if cache is not None:
+                    cache.put(
+                        cache_keys[index],
+                        result.to_dict(),
+                        kind="simulation-result",
+                    )
+                deliver(index, result)
+
+            self.map(_simulate_cell, payloads, on_result=harvest)
         if collector is not None:
             for result in results:
                 collector.absorb(result)
@@ -453,4 +498,4 @@ class ParallelSweepExecutor:
                 retries=len(self.retry_log) - retries_before,
                 jobs=self.jobs,
             )
-        return results
+        return results  # type: ignore[return-value]

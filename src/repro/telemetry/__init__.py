@@ -45,6 +45,7 @@ from repro.telemetry.runtime import (
     current_session,
     current_tracer,
     git_describe,
+    live_tracer,
     run_collector,
     session,
     span,
@@ -75,6 +76,7 @@ __all__ = [
     "current_session",
     "current_tracer",
     "git_describe",
+    "live_tracer",
     "run_collector",
     "session",
     "span",

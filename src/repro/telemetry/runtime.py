@@ -103,11 +103,88 @@ def current_session() -> Optional[TelemetrySession]:
 def current_tracer() -> EventTracer:
     """The current session's tracer, or the shared disabled tracer.
 
-    Components call this once at construction and keep the reference —
-    the guard ``if self._tracer.enabled:`` is then the entire disabled-
-    mode cost.
+    Call-time resolution: what the stack top is *right now*.  Emission
+    sites that run once per trial (campaign hooks, crash handlers) use
+    this.  Components that bind a tracer at construction must use
+    :func:`live_tracer` instead — a snapshot of ``current_tracer()``
+    taken before a session is installed stays :data:`NULL_TRACER`
+    forever and silently emits nothing.
     """
     return _SESSIONS[-1].tracer if _SESSIONS else NULL_TRACER
+
+
+class LiveTracer:
+    """A tracer facade that always follows the installed session.
+
+    Components (caches, the WPQ, controllers, recovery engines) keep
+    one reference to the shared instance for their whole lifetime;
+    session install/remove rebinds the target underneath them.  Both
+    halves of the performance contract are preserved:
+
+    * disabled — ``enabled`` and ``detail`` are plain slot attributes
+      synchronized on every session push/pop, so the hot-path guard
+      ``if self.tracer.enabled:`` stays a single attribute read;
+    * enabled — ``emit``/``events``/``drain`` are the target's *bound
+      methods*, installed at rebind time, so a forwarded call costs
+      exactly what calling the session tracer directly would.
+
+    The live session tracer itself is exposed as :attr:`target` for
+    per-access clock writes (``tracer.target.now = ...``) — a plain
+    attribute store, where a forwarding ``now`` property would pay a
+    descriptor call on every simulated access.
+    """
+
+    __slots__ = ("enabled", "detail", "emit", "events", "drain", "target")
+
+    def __init__(self) -> None:
+        self._rebind(NULL_TRACER)
+
+    def _rebind(self, target: EventTracer) -> None:
+        self.target = target
+        self.enabled = target.enabled
+        self.detail = target.detail
+        self.emit = target.emit
+        self.events = target.events
+        self.drain = target.drain
+
+    # -- cold-path conveniences ----------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.target.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.target.now = value
+
+    @property
+    def dropped(self) -> int:
+        return self.target.dropped
+
+    @property
+    def truncated(self) -> bool:
+        return self.target.truncated
+
+    def __len__(self) -> int:
+        return len(self.target)
+
+    def __repr__(self) -> str:
+        return f"LiveTracer({self.target!r})"
+
+
+#: The process-shared live facade handed out by :func:`live_tracer`.
+_LIVE_TRACER = LiveTracer()
+
+
+def live_tracer() -> LiveTracer:
+    """The construction-time tracer binding: always the live session.
+
+    Returns a process-shared facade that tracks the session stack, so a
+    component built *before* telemetry is armed still emits once a
+    session installs (the stale-binding bug the old construction-time
+    ``current_tracer()`` snapshot had).
+    """
+    return _LIVE_TRACER
 
 
 @contextmanager
@@ -115,10 +192,14 @@ def session(spec: Optional[TelemetrySpec] = None):
     """Install a fresh :class:`TelemetrySession` for the with-block."""
     active = TelemetrySession(spec)
     _SESSIONS.append(active)
+    _LIVE_TRACER._rebind(active.tracer)
     try:
         yield active
     finally:
         _SESSIONS.pop()
+        _LIVE_TRACER._rebind(
+            _SESSIONS[-1].tracer if _SESSIONS else NULL_TRACER
+        )
 
 
 @contextmanager
@@ -342,11 +423,14 @@ def build_manifest(
     collector: Optional[RunCollector] = None,
     outputs: Optional[Dict[str, str]] = None,
     started: Optional[float] = None,
+    result_cache: Optional[dict] = None,
 ) -> dict:
     """Assemble the per-run manifest written next to ``results.json``.
 
     Wall-clock values are welcome here — the manifest documents a run,
-    it is never byte-compared between runs.
+    it is never byte-compared between runs.  ``result_cache`` is the
+    hit/miss/bytes-saved stats block of the run's content-addressed
+    result cache, when one was configured.
     """
     manifest = {
         "schema": MANIFEST_SCHEMA,
@@ -360,6 +444,7 @@ def build_manifest(
         ),
         "outputs": dict(outputs or {}),
         "telemetry": collector.summary() if collector is not None else None,
+        "result_cache": result_cache,
     }
     session_now = current_session()
     if session_now is not None:

@@ -31,11 +31,29 @@ class Trace:
 
     def append(self, request: MemoryRequest) -> None:
         """Add one request to the end of the trace."""
+        self._digest_memo = None
         self.requests.append(request)
 
     def extend(self, requests: Sequence[MemoryRequest]) -> None:
         """Add many requests to the end of the trace."""
+        self._digest_memo = None
         self.requests.extend(requests)
+
+    def content_digest(self) -> str:
+        """Full sha256 hex digest of this trace's content, memoized.
+
+        Hashing a million-access trace request-by-request is what used
+        to dominate cache lookups, so the digest is computed once per
+        instance (in chunked batches) and invalidated by
+        :meth:`append`/:meth:`extend`.  Requests themselves are treated
+        as immutable, like everywhere else in the harness.
+        """
+        memo = getattr(self, "_digest_memo", None)
+        if memo is None:
+            from repro.sim.checkpoint import _hash_trace_stream
+
+            memo = self._digest_memo = _hash_trace_stream(self)
+        return memo
 
     # ------------------------------------------------------------------
     # summary metrics

@@ -73,6 +73,46 @@ class TestFingerprints:
             != base
         )
 
+    def test_full_fingerprint_is_sha256_width(self):
+        from repro.sim.checkpoint import full_fingerprint
+
+        config = small_config()
+        full = full_fingerprint(config, 3)
+        assert len(full) == 64
+        assert set(full) <= set("0123456789abcdef")
+        # The 16-hex display form is exactly a truncation of the full
+        # digest — journal keys and cache keys agree on prefixes.
+        assert fingerprint(config, 3) == full[:16]
+
+    def test_trace_digest_matches_reference_stream(self):
+        """The chunked hash reproduces the frozen per-request stream."""
+        import hashlib
+
+        from repro.sim.checkpoint import trace_digest
+
+        trace = generate_trace(profile("gcc"), 200, seed=5)
+        reference = hashlib.sha256()
+        reference.update(trace.name.encode("utf-8"))
+        for request in trace:
+            reference.update(
+                f"|{request.op.value}:{request.address}:"
+                f"{request.gap_ns!r}:".encode()
+            )
+            if request.data:
+                reference.update(request.data)
+        assert trace_digest(trace) == reference.hexdigest()
+        assert trace_fingerprint(trace) == reference.hexdigest()[:16]
+
+    def test_trace_digest_memoized_and_invalidated(self):
+        trace = generate_trace(profile("gcc"), 50, seed=1)
+        before = trace.content_digest()
+        assert trace.content_digest() == before
+        assert trace._digest_memo == before
+        # Mutation invalidates the memo: the digest tracks content.
+        trace.append(trace.requests[0])
+        assert trace._digest_memo is None
+        assert trace.content_digest() != before
+
 
 class TestAtomicArtifacts:
     def test_roundtrip(self, tmp_path):

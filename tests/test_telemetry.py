@@ -37,6 +37,7 @@ from repro.telemetry import (
     configure_telemetry,
     current_tracer,
     flatten_histogram,
+    live_tracer,
     read_jsonl,
     session,
     span,
@@ -202,6 +203,65 @@ def test_session_installs_and_pops():
         snapshot = active.registry.snapshot(deterministic=False)
         assert any("span.phase" in key for key in snapshot)
     assert current_tracer() is NULL_TRACER
+
+
+def test_live_tracer_follows_session_installs():
+    facade = live_tracer()
+    assert facade.enabled is False
+    assert facade.target is NULL_TRACER
+    with session(TelemetrySpec()) as active:
+        assert facade.enabled is True
+        assert facade.target is active.tracer
+        facade.emit("wpq.drain", ns=0.0, count=1)
+        assert len(active.tracer) == 1
+    assert facade.enabled is False
+    assert facade.target is NULL_TRACER
+
+
+def test_components_built_before_session_still_emit():
+    """Regression: engines built *before* telemetry is armed must not
+    stay bound to the null tracer for their whole lifetime."""
+    from repro.traces.replay import replay
+
+    config = small_config(SchemeKind.AGIT_PLUS, memory_bytes=64 * MIB)
+    controller = build_controller(config, keys=ProcessorKeys(1))
+
+    def run(seed):
+        replay(controller, generate_trace(
+            profile("gcc"), 200, seed=seed,
+            capacity_bytes=config.memory.capacity_bytes,
+        ))
+
+    with session(TelemetrySpec()) as active:
+        run(1)
+        recorded = len(active.tracer.events())
+    assert recorded > 0
+    kinds = {event["kind"] for event in active.tracer.events()}
+    assert "mem.access" in kinds
+    # And after the session pops, the same controller goes silent again.
+    run(2)
+    assert len(active.tracer.events()) == recorded
+
+
+def test_recovery_engine_built_before_session_still_emits():
+    from repro.core.recovery_agit import AgitRecovery
+    from repro.recovery.crash import crash, reincarnate
+    from repro.traces.replay import replay
+
+    config = small_config(SchemeKind.AGIT_PLUS, memory_bytes=64 * MIB)
+    controller = build_controller(config, keys=ProcessorKeys(1))
+    replay(controller, generate_trace(
+        profile("gcc"), 200, seed=1,
+        capacity_bytes=config.memory.capacity_bytes,
+    ))
+    crash(controller)
+    reborn = reincarnate(controller)
+    engine = AgitRecovery(reborn.nvm, reborn.layout, reborn)
+    with session(TelemetrySpec()) as active:
+        engine.run()
+    kinds = [event["kind"] for event in active.tracer.events()]
+    assert kinds.count("recovery.begin") == 1
+    assert kinds.count("recovery.end") == 1
 
 
 def test_simulation_without_telemetry_attaches_nothing():
