@@ -111,7 +111,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     trace = generate_trace(
         profile(args.workload), args.length, seed=args.seed
     )
-    result = run_simulation(config, trace, keys)
+    result = run_simulation(config, trace, keys, batch=args.batch)
     print(f"workload       : {trace}")
     print(f"scheme         : {config.scheme.value} ({config.tree.value})")
     print(f"elapsed        : {result.elapsed_ns / 1e6:.3f} ms "
@@ -302,6 +302,29 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore --cache-dir and $REPRO_RESULT_CACHE for this run",
     )
+    parser.add_argument(
+        "--cache-stamp",
+        metavar="STAMP",
+        default=None,
+        help="scope result-cache keys to a code version (e.g. a git "
+        "revision); entries written under another stamp miss instead "
+        "of replaying (default: $REPRO_CACHE_STAMP if set, else "
+        "version-agnostic keys)",
+    )
+
+
+def _add_batch_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.traces.replay import BATCH_MODES
+
+    parser.add_argument(
+        "--batch",
+        choices=BATCH_MODES,
+        default=None,
+        help="batch replay mode: 'auto' vectorizes steady-state "
+        "windows, 'on' forces batching even for mostly-cold chunks, "
+        "'off' replays request-by-request; results are identical in "
+        "all three (default: auto)",
+    )
 
 
 def _resolve_result_cache(args: argparse.Namespace):
@@ -313,7 +336,12 @@ def _resolve_result_cache(args: argparse.Namespace):
     directory = getattr(args, "cache_dir", None) or os.environ.get(
         "REPRO_RESULT_CACHE"
     )
-    return ResultCache(directory) if directory else None
+    if not directory:
+        return None
+    stamp = getattr(args, "cache_stamp", None) or os.environ.get(
+        "REPRO_CACHE_STAMP"
+    ) or None
+    return ResultCache(directory, code_stamp=stamp)
 
 
 def _print_cache_traffic(cache) -> None:
@@ -341,6 +369,7 @@ def _command_faults(args: argparse.Namespace) -> int:
     from repro.sim.checkpoint import write_artifact
     from repro.sim.parallel import ParallelSweepExecutor
     from repro.sim.result_cache import configure_result_cache
+    from repro.traces.replay import active_batch_mode, configure_batch_mode
 
     config = _resolve_faults_system(args)
     campaign = CampaignConfig(
@@ -357,12 +386,16 @@ def _command_faults(args: argparse.Namespace) -> int:
         args.jobs, timeout=args.timeout, retries=args.retries
     )
     cache = configure_result_cache(_resolve_result_cache(args))
+    previous_batch = active_batch_mode()
+    if args.batch is not None:
+        configure_batch_mode(args.batch)
     try:
         result = run_campaign(
             campaign, checkpoint_dir=args.resume, executor=executor
         )
     finally:
         configure_result_cache(None)
+        configure_batch_mode(previous_batch)
     print(format_summary(result))
     print()
     print(format_matrix(result))
@@ -415,6 +448,7 @@ def _command_attack(args: argparse.Namespace) -> int:
     from repro.sim.checkpoint import write_artifact
     from repro.sim.parallel import ParallelSweepExecutor
     from repro.sim.result_cache import configure_result_cache
+    from repro.traces.replay import active_batch_mode, configure_batch_mode
 
     if args.list:
         rows = [("attack class", "windows", "description")] + [
@@ -450,12 +484,16 @@ def _command_attack(args: argparse.Namespace) -> int:
         args.jobs, timeout=args.timeout, retries=args.retries
     )
     cache = configure_result_cache(_resolve_result_cache(args))
+    previous_batch = active_batch_mode()
+    if args.batch is not None:
+        configure_batch_mode(args.batch)
     try:
         result = run_attack_campaign(
             campaign, checkpoint_dir=args.resume, executor=executor
         )
     finally:
         configure_result_cache(None)
+        configure_batch_mode(previous_batch)
     print(format_attack_summary(result))
     print()
     print(format_attack_matrix(result))
@@ -557,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="replay a workload under a scheme"
     )
     _add_system_arguments(simulate)
+    _add_batch_argument(simulate)
     simulate.add_argument(
         "--workload", choices=profile_names(), default="gcc"
     )
@@ -709,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process execution (default: 2)",
     )
     _add_cache_arguments(faults)
+    _add_batch_argument(faults)
     faults.set_defaults(handler=_command_faults)
 
     attack = commands.add_parser(
@@ -809,6 +849,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry rounds for failed worker slices (default: 2)",
     )
     _add_cache_arguments(attack)
+    _add_batch_argument(attack)
     attack.set_defaults(handler=_command_attack)
 
     cache = commands.add_parser(

@@ -28,7 +28,7 @@ from repro.crypto.keys import ProcessorKeys
 from repro.experiments.reporting import format_markdown_table, format_seconds
 from repro.recovery.crash import crash, reincarnate
 from repro.traces.profiles import profile
-from repro.traces.replay import replay
+from repro.traces.replay import replay_batched
 from repro.traces.synthetic import generate_trace
 
 #: Cache sizes on the paper's x-axis (per cache; both grow together).
@@ -79,7 +79,7 @@ def _functional_agit(trace, cache_size: int, keys: ProcessorKeys) -> float:
         SchemeKind.AGIT_PLUS, TreeKind.BONSAI
     ).with_cache_size(cache_size)
     controller = build_controller(config, keys=keys)
-    replay(controller, trace)
+    replay_batched(controller, trace)
     crash(controller)
     reborn = reincarnate(controller)
     report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
@@ -91,7 +91,7 @@ def _functional_asit(trace, cache_size: int, keys: ProcessorKeys) -> float:
         SchemeKind.ASIT, TreeKind.SGX
     ).with_cache_size(cache_size)
     controller = build_controller(config, keys=keys)
-    replay(controller, trace)
+    replay_batched(controller, trace)
     crash(controller)
     reborn = reincarnate(controller)
     report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()

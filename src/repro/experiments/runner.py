@@ -43,6 +43,11 @@ from repro.telemetry.runtime import (
     configure_telemetry,
     write_manifest,
 )
+from repro.traces.replay import (
+    BATCH_MODES,
+    active_batch_mode,
+    configure_batch_mode,
+)
 
 from repro.experiments import (
     extra_dirty_footprint,
@@ -321,6 +326,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="ignore --cache-dir and $REPRO_RESULT_CACHE for this run",
     )
+    parser.add_argument(
+        "--cache-stamp",
+        metavar="STAMP",
+        default=None,
+        help="scope result-cache keys to a code version (e.g. a git "
+        "revision); entries written under another stamp miss instead "
+        "of replaying (default: $REPRO_CACHE_STAMP if set, else "
+        "version-agnostic keys)",
+    )
+    parser.add_argument(
+        "--batch",
+        choices=BATCH_MODES,
+        default=None,
+        help="batch replay mode for simulation cells: 'auto' "
+        "vectorizes steady-state windows, 'on' forces batching even "
+        "for mostly-cold chunks, 'off' replays request-by-request; "
+        "results are identical in all three (default: process "
+        "setting, normally auto)",
+    )
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
@@ -331,6 +355,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
     configure_executor_defaults(timeout=args.timeout, retries=args.retries)
+    # --batch changes execution strategy only, never results, so it is
+    # deliberately absent from the run fingerprint and cache keys.
+    previous_batch = active_batch_mode()
+    if args.batch is not None:
+        configure_batch_mode(args.batch)
     cache = configure_result_cache(_resolve_cache(args))
     selected = args.experiments or list(EXPERIMENTS)
 
@@ -372,6 +401,7 @@ def main(argv=None) -> int:
             collector.close_progress()
         configure_telemetry(None)
         configure_result_cache(None)
+        configure_batch_mode(previous_batch)
 
     outputs: Dict[str, str] = {}
     if args.resume:
@@ -435,7 +465,10 @@ def _resolve_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     if args.no_result_cache:
         return None
     directory = args.cache_dir or os.environ.get("REPRO_RESULT_CACHE")
-    return ResultCache(directory) if directory else None
+    if not directory:
+        return None
+    stamp = args.cache_stamp or os.environ.get("REPRO_CACHE_STAMP") or None
+    return ResultCache(directory, code_stamp=stamp)
 
 
 def _manifest_path(args: argparse.Namespace) -> Optional[str]:

@@ -90,6 +90,7 @@ from repro.sim.result_cache import active_result_cache
 from repro.sim.parallel import ParallelSweepExecutor
 from repro.telemetry.runtime import current_tracer
 from repro.traces.profiles import KIB, SyntheticProfile, profile
+from repro.traces.replay import replay_batched
 from repro.traces.synthetic import generate_trace
 from repro.traces.trace import Trace
 from repro.controller.access import Op
@@ -583,32 +584,35 @@ def _warmup_images(
         record_nvm = controller.nvm.snapshot()
         record_oracle = dict(oracle)
 
-    done = 0
-    for request in requests:
-        if done == record_at and record_nvm is None:
-            take_record()
-        if done in mark:
-            images[done] = _CrashImage(
-                preflush=controller.nvm.snapshot(),
-                pending=controller.wpq.pending_entries(),
-                chip=capture_chip_state(controller),
-                oracle=dict(oracle),
-            )
-        if request.op == Op.WRITE:
-            controller.access(request)
-            oracle[request.address] = request.data
-        else:
-            controller.access(request)
-        done += 1
-    if done == record_at and record_nvm is None:
-        take_record()
-    if done in mark:
+    def take_image(done: int) -> None:
         images[done] = _CrashImage(
             preflush=controller.nvm.snapshot(),
             pending=controller.wpq.pending_entries(),
             chip=capture_chip_state(controller),
             oracle=dict(oracle),
         )
+
+    # Replay segment-by-segment between snapshot boundaries; each
+    # segment runs through the batched engine (identical results, see
+    # traces/replay.py), pausing only where the campaign forks the
+    # persistent domain.  Snapshots always see fully settled state —
+    # the batch engine flushes its deferred work at every range end.
+    warm_trace = Trace("campaign-warmup", requests)
+    total = len(requests)
+    position = 0
+    for boundary in sorted({record_at, *points}):
+        replay_batched(
+            controller, warm_trace, oracle=oracle,
+            start=position, stop=boundary,
+        )
+        position = boundary
+        if boundary == record_at and record_nvm is None:
+            take_record()
+        if boundary in mark:
+            take_image(boundary)
+    replay_batched(
+        controller, warm_trace, oracle=oracle, start=position, stop=total
+    )
     return images, record_nvm, record_oracle
 
 

@@ -24,7 +24,7 @@ from repro.telemetry.runtime import (
     session as telemetry_session,
     span,
 )
-from repro.traces.replay import replay
+from repro.traces.replay import replay_batched
 from repro.traces.trace import Trace
 
 
@@ -53,6 +53,7 @@ def run_simulation(
     trace: Trace,
     keys: Optional[ProcessorKeys] = None,
     telemetry: Optional[TelemetrySpec] = None,
+    batch: Optional[str] = None,
 ) -> SimulationResult:
     """Replay one trace on a freshly built system; return its result.
 
@@ -61,10 +62,16 @@ def run_simulation(
     controller build + replay, so components bind this cell's tracer)
     and the result carries the recorded events — the per-cell stream a
     parent-side :class:`~repro.telemetry.runtime.RunCollector` merges.
+
+    ``batch`` overrides the process-wide batch replay mode for this
+    cell ("auto"/"on"/"off"); batched and scalar replay produce
+    identical results, so the knob only affects wall-clock time.  A
+    live telemetry session always replays scalar (the event stream
+    carries per-access events in scalar order).
     """
     if telemetry is not None:
         with telemetry_session(telemetry) as active:
-            result = run_simulation(config, trace, keys)
+            result = run_simulation(config, trace, keys, batch=batch)
         tracer = active.tracer
         if tracer.enabled:
             result.events = tracer.drain()
@@ -74,7 +81,7 @@ def run_simulation(
             }
         return result
     controller = build_controller(config, keys=keys)
-    replay(controller, trace)
+    replay_batched(controller, trace, batch=batch)
     elapsed = controller.finalize()
     stats = controller.collect_stats()
     stats.update(_cache_stats(controller))
@@ -102,18 +109,20 @@ class SimulationEngine:
         base_config: SystemConfig,
         keys: Optional[ProcessorKeys] = None,
         executor: Optional["ParallelSweepExecutor"] = None,
+        batch: Optional[str] = None,
     ) -> None:
         self.base_config = base_config
         self.keys = keys if keys is not None else ProcessorKeys()
         self.executor = (
             executor if executor is not None else ParallelSweepExecutor(1)
         )
+        self.batch = batch
 
     def run(self, trace: Trace, scheme: SchemeKind) -> SimulationResult:
         """Run one trace under one scheme."""
         config = self.base_config.with_scheme(scheme)
         with span(f"sim.run.{scheme.value}"):
-            return run_simulation(config, trace, self.keys)
+            return run_simulation(config, trace, self.keys, batch=self.batch)
 
     def compare(
         self,
@@ -138,7 +147,9 @@ class SimulationEngine:
             for scheme in schemes
         ]
         with span("sim.sweep"):
-            results = self.executor.run_simulations(cells, self.keys)
+            results = self.executor.run_simulations(
+                cells, self.keys, batch=self.batch
+            )
         comparisons: List[SchemeComparison] = []
         cursor = 0
         for trace in trace_list:

@@ -31,8 +31,13 @@ is ``cmp``-identical to a cold run at any ``--jobs`` count.
 
 The cache is explicitly *not* invalidated by code changes: it trusts
 that the same key means the same computation.  After editing simulator
-semantics, clear the store (``repro cache clear``) or point runs at a
-fresh ``--cache-dir``.
+semantics, clear the store (``repro cache clear``), point runs at a
+fresh ``--cache-dir``, or set a *code stamp* (``--cache-stamp`` /
+``REPRO_CACHE_STAMP``, e.g. a git revision) — the stamp is mixed into
+every key, so entries written under a different stamp simply miss.
+Execution-strategy knobs that provably do not change results — the
+batch replay mode — are deliberately *excluded* from keys: a sweep
+cached scalar must hit when re-run batched, and vice versa.
 """
 
 from __future__ import annotations
@@ -51,7 +56,8 @@ from repro.sim.checkpoint import (
 
 #: Store schema version, baked into every key: entries written by an
 #: incompatible layout can never be replayed as fresh results.
-CACHE_SCHEMA_VERSION = 1
+#: v2: keys optionally mix in a caller-supplied code stamp.
+CACHE_SCHEMA_VERSION = 2
 
 #: Artifact-envelope kind of one store entry.
 ENTRY_KIND = "result-cache-entry"
@@ -94,6 +100,11 @@ class ResultCache:
         past the bound.
     max_age_seconds:
         When set, eviction passes also drop entries older than this.
+    code_stamp:
+        Optional opaque string (a git revision, a build id) mixed into
+        every key.  Set it to scope entries to one code version when
+        simulator semantics are in flux; leave unset (the default) to
+        share entries across versions.
     """
 
     def __init__(
@@ -101,10 +112,12 @@ class ResultCache:
         directory: str,
         max_bytes: Optional[int] = None,
         max_age_seconds: Optional[float] = None,
+        code_stamp: Optional[str] = None,
     ) -> None:
         self.directory = os.path.abspath(directory)
         self.max_bytes = max_bytes
         self.max_age_seconds = max_age_seconds
+        self.code_stamp = code_stamp
         os.makedirs(self.directory, exist_ok=True)
         #: Session counters (this process's traffic, not the store).
         self.hits = 0
@@ -120,12 +133,17 @@ class ResultCache:
     def key(self, kind: str, *parts: Any) -> str:
         """The full-width content address of one unit of work.
 
-        Always incorporates the store schema version and the entry
-        ``kind``; callers add everything that determines the result
-        (config, trace digest, seed, telemetry spec, trial index ...).
+        Always incorporates the store schema version, the entry
+        ``kind``, and the cache's ``code_stamp`` (when set); callers
+        add everything that determines the result (config, trace
+        digest, seed, telemetry spec, trial index ...).
         """
         return full_fingerprint(
-            "repro-result-cache", CACHE_SCHEMA_VERSION, kind, *parts
+            "repro-result-cache",
+            CACHE_SCHEMA_VERSION,
+            self.code_stamp,
+            kind,
+            *parts,
         )
 
     def _path(self, key: str) -> str:

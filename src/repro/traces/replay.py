@@ -3,16 +3,69 @@
 :func:`replay` drives every request through the controller and, when
 asked, keeps a plain dict of the latest plaintext per address — the
 oracle the crash/recovery tests compare post-recovery reads against.
+
+:func:`replay_batched` is the drop-in fast variant: it feeds the
+trace's columnar form through the chunked batch engine
+(:mod:`repro.controller.batch`) wherever that is provably exact, and
+replays request-by-request everywhere else — inside caller-declared
+``scalar_windows`` (crash/fault/attack injection ranges), for
+functional ``check_reads`` runs, under a live telemetry session, and
+for controllers the batch engine does not support.  Results are
+identical to :func:`replay` in all cases; only wall-clock differs.
+
+The module also owns the process-wide batch-mode knob ("auto" / "on" /
+"off") that the CLIs and the experiment runner thread through
+``sim.engine`` — workers resolve it per simulation so parallel sweeps
+inherit the parent's choice.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.controller.access import Op
 from repro.controller.base import SecureMemoryController
-from repro.errors import IntegrityError
+from repro.errors import ConfigError, IntegrityError
 from repro.traces.trace import Trace
+
+#: Legal values of the batch-mode knob.
+BATCH_MODES = ("auto", "on", "off")
+
+_batch_mode = "auto"
+
+
+def configure_batch_mode(mode: Optional[str]) -> str:
+    """Set the process-wide batch replay mode; returns the new value.
+
+    ``None`` resets to the default ("auto").  "auto" and "on" differ
+    only in heuristics (auto may run mostly-cold chunks scalar); "off"
+    forces request-by-request replay everywhere.
+    """
+    global _batch_mode
+    if mode is None:
+        mode = "auto"
+    if mode not in BATCH_MODES:
+        raise ConfigError(
+            f"batch mode must be one of {BATCH_MODES}, got {mode!r}"
+        )
+    _batch_mode = mode
+    return mode
+
+
+def active_batch_mode() -> str:
+    """The process-wide batch replay mode."""
+    return _batch_mode
+
+
+def resolve_batch_mode(explicit: Optional[str]) -> str:
+    """An explicit per-call mode if given, else the process-wide one."""
+    if explicit is None:
+        return _batch_mode
+    if explicit not in BATCH_MODES:
+        raise ConfigError(
+            f"batch mode must be one of {BATCH_MODES}, got {explicit!r}"
+        )
+    return explicit
 
 
 def replay(
@@ -53,4 +106,134 @@ def replay(
                         f"controller returned different plaintext than "
                         f"the oracle"
                     )
+    return shadow
+
+
+def _replay_range(
+    controller: SecureMemoryController,
+    trace: Trace,
+    shadow: Dict[int, bytes],
+    blank: bytes,
+    check_reads: bool,
+    start: int,
+    stop: int,
+) -> None:
+    """Scalar replay of ``trace[start:stop)`` — the :func:`replay` body."""
+    for request in trace.iter_range(start, stop):
+        if request.op == Op.WRITE:
+            controller.access(request)
+            shadow[request.address] = request.data
+        else:
+            data = controller.access(request)
+            if check_reads:
+                expected = shadow.get(request.address, blank)
+                if data != expected:
+                    raise IntegrityError(
+                        f"replay mismatch at {request.address:#x}: "
+                        f"controller returned different plaintext than "
+                        f"the oracle"
+                    )
+
+
+def _merge_windows(
+    windows: Optional[Iterable[Tuple[int, int]]], total: int
+) -> List[Tuple[int, int]]:
+    """Clip windows to ``[0, total)``, sort, and merge overlaps."""
+    if not windows:
+        return []
+    clipped = sorted(
+        (max(0, int(lo)), min(total, int(hi)))
+        for lo, hi in windows
+    )
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in clipped:
+        if hi <= lo:
+            continue
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def replay_batched(
+    controller: SecureMemoryController,
+    trace: Trace,
+    oracle: Optional[Dict[int, bytes]] = None,
+    check_reads: bool = False,
+    scalar_windows: Optional[Iterable[Tuple[int, int]]] = None,
+    chunk_size: Optional[int] = None,
+    batch: Optional[str] = None,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> Dict[int, bytes]:
+    """Drop-in :func:`replay` that batches the steady-state hot path.
+
+    Parameters mirror :func:`replay`, plus:
+
+    scalar_windows:
+        ``(start, stop)`` request-index ranges that must run through the
+        plain per-request path — crash points, fault-injection spans,
+        attack windows.  Anything a campaign perturbs mid-stream belongs
+        here; the fast path's proof of exactness assumes an undisturbed
+        window (see DESIGN.md).
+    chunk_size:
+        Accesses per planning chunk (default
+        :data:`repro.controller.batch.DEFAULT_CHUNK`).
+    batch:
+        Per-call override of the process-wide mode; "off" degenerates
+        to scalar replay.
+    start, stop:
+        Replay only requests ``[start, stop)`` (default: the whole
+        trace).  Callers that must pause at known indices — the fault
+        campaign snapshotting the persistent domain at crash points —
+        replay segment by segment with the same semantics as one pass.
+
+    The result — oracle content, controller state, statistics, timing,
+    raised errors — is identical to :func:`replay` for every supported
+    configuration; unsupported ones silently run scalar.
+    """
+    from repro.controller.batch import (
+        DEFAULT_CHUNK,
+        batch_supported,
+        run_batched_range,
+    )
+
+    mode = resolve_batch_mode(batch)
+    shadow: Dict[int, bytes] = oracle if oracle is not None else {}
+    blank = bytes(controller.config.memory.block_size)
+    total = len(trace)
+    if stop is None:
+        stop = total
+    start = max(0, start)
+    stop = min(total, stop)
+    if stop <= start:
+        return shadow
+    columns = None
+    if mode != "off" and not check_reads and batch_supported(controller):
+        columns = trace.to_columns()
+    if columns is None:
+        _replay_range(
+            controller, trace, shadow, blank, check_reads, start, stop
+        )
+        return shadow
+
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK
+    position = start
+    for lo, hi in _merge_windows(scalar_windows, total):
+        lo = max(lo, start)
+        hi = min(hi, stop)
+        if hi <= lo:
+            continue
+        if position < lo:
+            run_batched_range(
+                controller, columns, position, lo, shadow, chunk_size, mode
+            )
+        _replay_range(controller, trace, shadow, blank, check_reads, lo, hi)
+        position = hi
+    if position < stop:
+        run_batched_range(
+            controller, columns, position, stop, shadow, chunk_size, mode
+        )
     return shadow

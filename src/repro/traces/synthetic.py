@@ -16,7 +16,7 @@ from repro.config import BLOCK_SIZE
 from repro.controller.access import MemoryRequest, Op
 from repro.errors import ConfigError
 from repro.traces.profiles import SyntheticProfile
-from repro.traces.trace import Trace
+from repro.traces.trace import Trace, TraceColumns
 
 
 def _payload(rng: random.Random) -> bytes:
@@ -79,12 +79,22 @@ def generate_trace(
     # same (profile, seed) must yield the same trace across invocations.
     rng = random.Random(zlib.crc32(profile.name.encode("utf-8")) ^ seed)
     source = _AddressSource(profile, rng, region_base)
-    trace = Trace(name=profile.name)
 
-    while len(trace) < length:
+    # Generate straight into parallel columns — no per-access objects
+    # when the consumer is the batched engine or the digest hasher.  The
+    # RNG call sequence below is frozen: it must match what the old
+    # object-building loop performed, or every seeded trace digest (and
+    # with it every journal and result-cache key) silently changes.
+    addresses: list = []
+    is_write: list = []
+    gaps: list = []
+    payloads: list = []
+    count = 0
+
+    while count < length:
         base = source.next_base()
         for line in range(profile.burst_length):
-            if len(trace) >= length:
+            if count >= length:
                 break
             address = source.clamp(base + line * BLOCK_SIZE)
             gap = rng.expovariate(1.0 / profile.gap_mean_ns)
@@ -92,21 +102,35 @@ def generate_trace(
                 # A write burst: rewrite_count back-to-back stores model
                 # read-modify-write loops hammering one line.
                 for _repeat in range(profile.rewrite_count):
-                    if len(trace) >= length:
+                    if count >= length:
                         break
-                    trace.append(
-                        MemoryRequest(
-                            op=Op.WRITE,
-                            address=address,
-                            data=_payload(rng),
-                            gap_ns=gap,
-                        )
-                    )
+                    addresses.append(address)
+                    is_write.append(True)
+                    gaps.append(gap)
+                    payloads.append(_payload(rng))
+                    count += 1
                     gap = rng.expovariate(1.0 / profile.gap_mean_ns)
             else:
-                trace.append(
-                    MemoryRequest(op=Op.READ, address=address, gap_ns=gap)
-                )
+                addresses.append(address)
+                is_write.append(False)
+                gaps.append(gap)
+                payloads.append(None)
+                count += 1
+
+    columns = TraceColumns.from_lists(addresses, is_write, gaps, payloads)
+    if columns is not None:
+        trace = Trace.from_columns(profile.name, columns)
+    else:  # pragma: no cover - numpy ships in the environment
+        trace = Trace(name=profile.name)
+        trace.extend(
+            MemoryRequest(
+                op=Op.WRITE if is_write[i] else Op.READ,
+                address=addresses[i],
+                data=payloads[i],
+                gap_ns=gaps[i],
+            )
+            for i in range(count)
+        )
 
     if capacity_bytes is not None:
         trace.validate(capacity_bytes)

@@ -74,8 +74,9 @@ class TestStore:
             "simulation-result", 1
         )
         # The schema version is baked into every address: bumping it
-        # orphans (rather than misinterprets) old stores.
-        assert CACHE_SCHEMA_VERSION in (1,)
+        # orphans (rather than misinterprets) old stores.  v2 added the
+        # optional code stamp to key derivation.
+        assert CACHE_SCHEMA_VERSION in (2,)
 
     def test_wrong_kind_is_quarantined_not_replayed(self, cache):
         key = cache.key("simulation-result", "x")
