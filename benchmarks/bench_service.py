@@ -1,0 +1,210 @@
+"""Bench: the campaign service under deterministic load.
+
+A load generator for the job server built from probe jobs (tiny
+deterministic sleeps), so the bench times the *service* — admission,
+scheduling, journaling, recovery — not the simulator.  Three claims
+are exercised, each asserted hard enough to run in CI:
+
+- **Backpressure**: a burst at 4x capacity gets typed 429s carrying
+  ``Retry-After``, while every accepted job still completes — overload
+  sheds new work, never accepted work.
+- **Fairness**: per-tenant running caps hold under saturation even
+  with free global workers, and every tenant's work drains.
+- **Restart survival**: a server started over a dead generation's
+  journal (orphaned RUNNING job, stale lease) re-adopts and finishes
+  the orphan; the bench times adoption-to-completion.
+
+Numbers land in ``benchmark.extra_info`` so ``--benchmark-json``
+output carries accepted/rejected counts and gauge peaks.
+"""
+
+import os
+import time
+
+from repro.errors import ServiceError
+from repro.service import (
+    Backpressure,
+    JobState,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    job_id,
+    validate_spec,
+)
+from repro.service.jobs import Job
+from repro.sim.checkpoint import CheckpointJournal, fingerprint
+
+#: Probe sleep long enough that a submission burst lands while the
+#: first jobs are still running — admission decisions become
+#: deterministic under saturation.
+PROBE_MS = 250
+
+
+def _serve(tmp_path, **overrides):
+    defaults = dict(
+        data_dir=str(tmp_path / "service-data"),
+        workers=2,
+        max_queue=4,
+        retry_after=2,
+        heartbeat_seconds=0.2,
+    )
+    defaults.update(overrides)
+    thread = ServerThread(ServiceConfig(**defaults))
+    port = thread.start()
+    return thread, ServiceClient(f"http://127.0.0.1:{port}")
+
+
+def test_service_overload_burst(benchmark, tmp_path):
+    """4x-capacity burst: typed rejections, zero lost accepted jobs."""
+    thread, client = _serve(tmp_path)
+    capacity = thread.config.workers + thread.config.max_queue
+    burst = 4 * capacity
+    accepted, rejected = [], 0
+
+    def run():
+        nonlocal rejected
+        for index in range(burst):
+            try:
+                doc = client.submit(
+                    "probe",
+                    tenant=f"tenant{index % 3}",
+                    params={"sleep_ms": PROBE_MS, "steps": 2 + index},
+                )
+                accepted.append(doc["job"]["id"])
+            except Backpressure as exc:
+                assert exc.retry_after and exc.retry_after > 0
+                rejected += 1
+        return client.wait(timeout=300)
+
+    try:
+        finals = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        thread.stop()
+
+    assert rejected > 0, "burst never saturated the queue"
+    assert len(accepted) + rejected == burst
+    by_id = {doc["id"]: doc["state"] for doc in finals}
+    # Every accepted job completed: overload rejected new work, it
+    # never dropped admitted work.
+    assert [by_id[jid] for jid in accepted] == (
+        ["SUCCEEDED"] * len(accepted)
+    )
+    metrics = client_metrics_after_stop(thread)
+    counters = metrics["counters"]
+    assert counters["succeeded"] == len(accepted)
+    assert (
+        counters["rejected_backpressure"] + counters["rejected_quota"]
+        == rejected
+    )
+    assert metrics["gauges"]["queue_depth"]["max"] <= (
+        thread.config.max_queue
+    )
+    benchmark.extra_info["accepted"] = len(accepted)
+    benchmark.extra_info["rejected"] = rejected
+    benchmark.extra_info["gauge_peaks"] = {
+        name: block["max"]
+        for name, block in metrics["gauges"].items()
+    }
+
+
+def client_metrics_after_stop(thread):
+    """The server's final metrics block, read from its manifest (the
+    HTTP endpoint is gone once the thread stops)."""
+    import json
+
+    with open(
+        os.path.join(thread.config.data_dir, "manifest.json")
+    ) as handle:
+        return json.load(handle)["service"]
+
+
+def test_service_fairness(benchmark, tmp_path):
+    """Per-tenant running caps hold under saturation; all work drains."""
+    thread, client = _serve(
+        tmp_path, workers=3, max_queue=12, tenant_max_running=1,
+        tenant_max_queued=6,
+    )
+    tenants = ("alice", "bob")
+    per_tenant = 3
+    peaks = {tenant: 0 for tenant in tenants}
+
+    def run():
+        for index in range(per_tenant):
+            for tenant in tenants:
+                client.submit(
+                    "probe",
+                    tenant=tenant,
+                    params={"sleep_ms": PROBE_MS, "steps": 2 + index},
+                )
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            block = client.metrics()
+            for tenant in tenants:
+                peaks[tenant] = max(
+                    peaks[tenant],
+                    block["tenants"].get(tenant, {}).get("running", 0),
+                )
+            done = block["jobs"]["by_state"].get("SUCCEEDED", 0)
+            if done == per_tenant * len(tenants):
+                return block
+            time.sleep(0.05)
+        raise ServiceError("fairness load never drained")
+
+    try:
+        block = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        thread.stop()
+
+    for tenant in tenants:
+        assert 1 <= peaks[tenant] <= thread.config.tenant_max_running
+    assert block["counters"]["succeeded"] == per_tenant * len(tenants)
+    benchmark.extra_info["running_peaks"] = peaks
+
+
+def test_service_restart_adoption(benchmark, tmp_path):
+    """Adoption-to-completion latency for an orphaned job.
+
+    Seeds the journal exactly as a SIGKILL'd generation leaves it — a
+    RUNNING job whose lease names a dead generation — then times a
+    fresh server start through the orphan's completion."""
+    data_dir = str(tmp_path / "service-data")
+    os.makedirs(data_dir)
+    spec = validate_spec(
+        {"kind": "probe", "tenant": "ghost",
+         "params": {"sleep_ms": 20}}
+    )
+    orphan = Job(
+        id=job_id(spec), spec=spec, state=JobState.RUNNING,
+        submitted_seq=1, generation=1,
+    )
+    journal = CheckpointJournal(
+        os.path.join(data_dir, "server.jsonl"),
+        fingerprint("service-journal", 1),
+    )
+    journal.record("generation", {"generation": 1}, replace=True)
+    journal.record(f"job:{orphan.id}", orphan.to_dict(), replace=True)
+    journal.record(
+        f"lease:{orphan.id}",
+        {"generation": 1, "seq": 1, "ns": 0},
+        replace=True,
+    )
+    journal.close()
+
+    def run():
+        thread = ServerThread(
+            ServiceConfig(data_dir=data_dir, workers=1)
+        )
+        port = thread.start()
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        try:
+            final = client.wait(orphan.id, timeout=120)[0]
+            metrics = client.metrics()
+        finally:
+            thread.stop()
+        return final, metrics
+
+    final, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert final["state"] == "SUCCEEDED"
+    assert metrics["counters"]["adopted"] == 1
+    assert metrics["generation"] == 2
+    benchmark.extra_info["adopted"] = metrics["counters"]["adopted"]

@@ -23,7 +23,13 @@ Commands:
   file for later replay;
 * ``cache`` — inspect (``stats``), bound (``gc``), or wipe (``clear``)
   the content-addressed result cache that ``--cache-dir`` runs consult;
-* ``experiments`` — shorthand for ``python -m repro.experiments``.
+* ``experiments`` — shorthand for ``python -m repro.experiments``;
+* ``serve`` — run the campaign job server: accepts sweep, fault- and
+  attack-campaign submissions over HTTP, schedules them fairly across
+  tenants, journals every job, and survives SIGKILL (restart with the
+  same ``--data-dir`` resumes every in-flight job byte-identically);
+* ``submit`` / ``status`` / ``watch`` / ``cancel`` — client verbs for
+  a running service.
 """
 
 from __future__ import annotations
@@ -305,10 +311,14 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-stamp",
         metavar="STAMP",
+        nargs="?",
+        const="auto",
         default=None,
         help="scope result-cache keys to a code version (e.g. a git "
         "revision); entries written under another stamp miss instead "
-        "of replaying (default: $REPRO_CACHE_STAMP if set, else "
+        "of replaying.  Bare --cache-stamp (or --cache-stamp auto) "
+        "derives the stamp from the installed package version or git "
+        "HEAD (default: $REPRO_CACHE_STAMP if set, else "
         "version-agnostic keys)",
     )
 
@@ -329,7 +339,7 @@ def _add_batch_argument(parser: argparse.ArgumentParser) -> None:
 
 def _resolve_result_cache(args: argparse.Namespace):
     """The run's result cache per flags/environment, or None."""
-    from repro.sim.result_cache import ResultCache
+    from repro.sim.result_cache import ResultCache, derive_cache_stamp
 
     if getattr(args, "no_result_cache", False):
         return None
@@ -341,6 +351,15 @@ def _resolve_result_cache(args: argparse.Namespace):
     stamp = getattr(args, "cache_stamp", None) or os.environ.get(
         "REPRO_CACHE_STAMP"
     ) or None
+    if stamp == "auto":
+        stamp = derive_cache_stamp()
+        if stamp is None:
+            print(
+                "warning: --cache-stamp auto found neither an installed "
+                "package version nor a git revision; using version-"
+                "agnostic cache keys",
+                file=sys.stderr,
+            )
     return ResultCache(directory, code_stamp=stamp)
 
 
@@ -575,6 +594,174 @@ def _command_experiments(args: argparse.Namespace) -> int:
 
     forwarded = list(args.experiment_args)
     return experiments_main(forwarded)
+
+
+#: Default service endpoint for the client verbs; overridable per-call
+#: with --server or globally with $REPRO_SERVICE_URL.
+_DEFAULT_SERVICE_URL = "http://127.0.0.1:8023"
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    return (
+        args.server
+        or os.environ.get("REPRO_SERVICE_URL")
+        or _DEFAULT_SERVICE_URL
+    )
+
+
+def _add_server_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help="service endpoint (default: $REPRO_SERVICE_URL or "
+        f"{_DEFAULT_SERVICE_URL})",
+    )
+
+
+def _parse_submit_params(pairs) -> dict:
+    """``--param key=value`` pairs; values parse as JSON, falling back
+    to plain strings (so ``--param trials=25`` is an int and
+    ``--param workload=hammer`` a string)."""
+    import json
+
+    from repro.errors import ValidationError
+
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValidationError(
+                f"--param expects key=value, got {pair!r}"
+            )
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import JobServer, ServiceConfig
+    from repro.sim.parallel import resolve_jobs
+
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        jobs_per_job=resolve_jobs(args.jobs),
+        max_queue=args.max_queue,
+        tenant_max_running=args.tenant_max_running,
+        tenant_max_queued=args.tenant_max_queued,
+        tenant_max_trials=args.tenant_max_trials,
+        retry_after=args.retry_after,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=args.cache_dir
+        or os.environ.get("REPRO_RESULT_CACHE"),
+        cache_stamp=args.cache_stamp
+        or os.environ.get("REPRO_CACHE_STAMP"),
+        memory_soft_mb=args.memory_soft_mb,
+        memory_hard_mb=args.memory_hard_mb,
+    )
+
+    async def amain() -> None:
+        server = JobServer(config)
+        await server.start()
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"(generation {server.generation}, data {config.data_dir})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.request_stop)
+        await server.wait_stopped()
+        print("drained; queued jobs stay journaled for the next start")
+
+    asyncio.run(amain())
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    doc = client.submit(
+        args.kind,
+        tenant=args.tenant,
+        params=_parse_submit_params(args.param),
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    job = doc["job"]
+    verb = "attached to" if doc.get("attached") else "submitted"
+    print(f"{verb} job {job['id']} ({job['state']})")
+    if args.watch:
+        return _follow_job(client, job["id"])
+    return 0
+
+
+def _follow_job(client, jid: str) -> int:
+    import json
+
+    for event in client.watch(jid):
+        print(json.dumps(event, sort_keys=True), flush=True)
+    final = client.status(jid)
+    print(f"job {jid}: {final['state']}")
+    return 0 if final["state"] == "SUCCEEDED" else 1
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    if args.job:
+        if args.wait:
+            docs = client.wait(args.job, timeout=args.wait_timeout)
+        else:
+            docs = [client.status(args.job)]
+    elif args.wait:
+        docs = client.wait(timeout=args.wait_timeout)
+    else:
+        docs = client.jobs(tenant=args.tenant)["jobs"]
+    if not docs:
+        print("no jobs")
+        return 0
+    width = max(len(d["id"]) for d in docs)
+    failed = 0
+    for doc in docs:
+        progress = (
+            f" {doc['done']}/{doc['total']}" if doc["total"] else ""
+        )
+        detail = f" — {doc['error']}" if doc.get("error") else ""
+        print(
+            f"{doc['id']:<{width}}  {doc['tenant']:<12} "
+            f"{doc['kind']:<7} {doc['state']}{progress}{detail}"
+        )
+        if doc["state"] == "FAILED":
+            failed += 1
+    return 1 if failed and args.wait else 0
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    return _follow_job(ServiceClient(_service_url(args)), args.job)
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    doc = ServiceClient(_service_url(args)).cancel(args.job)
+    job = doc["job"]
+    note = " (cancelling)" if doc.get("cancelling") else ""
+    print(f"job {job['id']}: {job['state']}{note}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -899,6 +1086,179 @@ def build_parser() -> argparse.ArgumentParser:
     # REMAINDER so flags like --json pass through to the harness.
     experiments.add_argument("experiment_args", nargs=argparse.REMAINDER)
     experiments.set_defaults(handler=_command_experiments)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the campaign job server (crash-surviving, "
+        "multi-tenant, journaled)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        required=True,
+        help="service state root: job journal, per-job checkpoints, "
+        "artifacts, manifest — restarting with the same DIR resumes "
+        "every in-flight job",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8023,
+        help="listen port (0 = ephemeral; default: 8023)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="maximum concurrently running jobs (default: 2)",
+    )
+    serve.add_argument(
+        "--jobs",
+        metavar="N",
+        default="1",
+        help="worker processes inside each job ('auto' = one per "
+        "core; degradation level 1 forces 1)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="global queued-job bound; beyond it submissions get "
+        "429 + Retry-After (default: 8)",
+    )
+    serve.add_argument(
+        "--tenant-max-running",
+        type=int,
+        default=2,
+        help="per-tenant concurrent-job cap (default: 2)",
+    )
+    serve.add_argument(
+        "--tenant-max-queued",
+        type=int,
+        default=4,
+        help="per-tenant queued-job cap (default: 4)",
+    )
+    serve.add_argument(
+        "--tenant-max-trials",
+        type=int,
+        default=100_000,
+        help="per-tenant queued+running trial-weight cap "
+        "(default: 100000)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=int,
+        default=2,
+        help="Retry-After seconds on 429/503 (default: 2)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="default per-trial-slice timeout for jobs (a submission "
+        "may override)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=2,
+        help="default retry rounds for failed worker slices "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--memory-soft-mb",
+        type=float,
+        default=None,
+        help="ru_maxrss soft limit: degrade to serial execution "
+        "beyond it",
+    )
+    serve.add_argument(
+        "--memory-hard-mb",
+        type=float,
+        default=None,
+        help="ru_maxrss hard limit: stop admitting work beyond it "
+        "(accepted jobs still finish)",
+    )
+    _add_cache_arguments(serve)
+    serve.set_defaults(handler=_command_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit a job to a running campaign service"
+    )
+    _add_server_argument(submit)
+    submit.add_argument(
+        "kind",
+        choices=["sweep", "faults", "attack", "probe"],
+        help="job kind",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="job parameter (repeatable); values parse as JSON, e.g. "
+        "--param trials=25 --param 'experiments=[\"fig07\"]'",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-trial-slice timeout override for this job",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="retry-round override for this job",
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream the job's NDJSON events until it finishes",
+    )
+    submit.set_defaults(handler=_command_submit)
+
+    status = commands.add_parser(
+        "status", help="show job states on a campaign service"
+    )
+    _add_server_argument(status)
+    status.add_argument(
+        "job", nargs="?", default=None, help="job id (default: all)"
+    )
+    status.add_argument("--tenant", default=None)
+    status.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job(s) are terminal; exit 1 if any "
+        "FAILED",
+    )
+    status.add_argument(
+        "--wait-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=600.0,
+    )
+    status.set_defaults(handler=_command_status)
+
+    watch = commands.add_parser(
+        "watch",
+        help="stream a job's NDJSON progress events until terminal",
+    )
+    _add_server_argument(watch)
+    watch.add_argument("job", help="job id")
+    watch.set_defaults(handler=_command_watch)
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a queued or running job"
+    )
+    _add_server_argument(cancel)
+    cancel.add_argument("job", help="job id")
+    cancel.set_defaults(handler=_command_cancel)
 
     return parser
 

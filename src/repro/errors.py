@@ -136,6 +136,29 @@ class ArtifactCorruptError(ReproError):
     wrote — never a half-finished write."""
 
 
+class ValidationError(ReproError, ValueError):
+    """A submitted configuration value is unusable and was rejected at
+    admission time (e.g. ``timeout <= 0`` or ``retries < 0``).
+
+    Subclasses :class:`ValueError` too so call sites that predate the
+    service layer — and tests written against them — keep working, while
+    the service can map this class to an HTTP 400 response instead of
+    letting a worker crash on the bad value mid-job."""
+
+
+class ServiceError(ReproError):
+    """The campaign service cannot honor a request in its current state
+    (unknown job id, cancel of a finished job, malformed request body).
+
+    Distinct from :class:`ValidationError`: a *service* error depends on
+    server state, a *validation* error is wrong in any state."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exceeded its admission quota (max concurrent jobs or max
+    queued trials); the request must be retried later, never queued."""
+
+
 class CheckpointMismatchError(ReproError):
     """A checkpoint journal exists but was recorded for *different*
     work (its fingerprint does not match the requested campaign or

@@ -63,12 +63,13 @@ from repro.experiments import (
 )
 
 
-def _run_fig05(full: bool, jobs: int = 1) -> dict:
+def _run_fig05(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = fig05_recovery_osiris.run()
-    print("Figure 5 — Osiris recovery time vs memory size")
-    print(fig05_recovery_osiris.format_table(result))
-    print()
-    print(fig05_recovery_osiris.format_chart(result))
+    print("Figure 5 — Osiris recovery time vs memory size", file=out)
+    print(fig05_recovery_osiris.format_table(result), file=out)
+    print(file=out)
+    print(fig05_recovery_osiris.format_chart(result), file=out)
     return {
         "recovery_seconds": {
             str(capacity): result.recovery_seconds[capacity]
@@ -78,12 +79,13 @@ def _run_fig05(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_fig07(full: bool, jobs: int = 1) -> dict:
+def _run_fig07(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = fig07_clean_evictions.run(
         trace_length=40_000 if full else 12_000, jobs=jobs
     )
-    print("Figure 7 — counter-cache eviction split (write-back baseline)")
-    print(fig07_clean_evictions.format_table(result))
+    print("Figure 7 — counter-cache eviction split (write-back baseline)", file=out)
+    print(fig07_clean_evictions.format_table(result), file=out)
     return {
         "clean_fraction": {
             name: result.clean_fraction(name) for name in result.benchmarks
@@ -91,12 +93,13 @@ def _run_fig07(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_fig10(full: bool, jobs: int = 1) -> dict:
+def _run_fig10(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = fig10_agit_perf.run(
         trace_length=30_000 if full else 10_000, jobs=jobs
     )
-    print("Figure 10 — AGIT performance (normalized to write-back)")
-    print(fig10_agit_perf.format_table(result))
+    print("Figure 10 — AGIT performance (normalized to write-back)", file=out)
+    print(fig10_agit_perf.format_table(result), file=out)
     return {
         "gmean_overhead_percent": {
             scheme.value: value for scheme, value in result.averages.items()
@@ -111,12 +114,13 @@ def _run_fig10(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_fig11(full: bool, jobs: int = 1) -> dict:
+def _run_fig11(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = fig11_asit_perf.run(
         trace_length=30_000 if full else 10_000, jobs=jobs
     )
-    print("Figure 11 — ASIT performance (normalized to write-back)")
-    print(fig11_asit_perf.format_table(result))
+    print("Figure 11 — ASIT performance (normalized to write-back)", file=out)
+    print(fig11_asit_perf.format_table(result), file=out)
     return {
         "gmean_overhead_percent": {
             scheme.value: value for scheme, value in result.averages.items()
@@ -128,10 +132,11 @@ def _run_fig11(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_fig12(full: bool, jobs: int = 1) -> dict:
+def _run_fig12(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = fig12_recovery_time.run(functional=full)
-    print("Figure 12 — Anubis recovery time vs metadata cache size")
-    print(fig12_recovery_time.format_table(result))
+    print("Figure 12 — Anubis recovery time vs metadata cache size", file=out)
+    print(fig12_recovery_time.format_table(result), file=out)
     return {
         "agit_analytic": {
             str(size): result.agit_analytic[size]
@@ -152,12 +157,13 @@ def _run_fig12(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_fig13(full: bool, jobs: int = 1) -> dict:
+def _run_fig13(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = fig13_cache_sensitivity.run(
         trace_length=20_000 if full else 8_000, jobs=jobs
     )
-    print(f"Figure 13 — cache-size sensitivity ({result.benchmark})")
-    print(fig13_cache_sensitivity.format_table(result))
+    print(f"Figure 13 — cache-size sensitivity ({result.benchmark})", file=out)
+    print(fig13_cache_sensitivity.format_table(result), file=out)
     return {
         "normalized": {
             scheme.value: {str(size): value for size, value in series.items()}
@@ -166,10 +172,11 @@ def _run_fig13(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_headline(full: bool, jobs: int = 1) -> dict:
+def _run_headline(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = headline.run()
-    print("Headline — recovery-time comparison")
-    print(headline.format_table(result))
+    print("Headline — recovery-time comparison", file=out)
+    print(headline.format_table(result), file=out)
     return {
         "osiris_seconds": result.osiris_seconds,
         "agit_seconds": result.agit_seconds,
@@ -177,11 +184,12 @@ def _run_headline(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_dirty_footprint(full: bool, jobs: int = 1) -> dict:
+def _run_dirty_footprint(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     footprints = None if full else [64, 256, 1024, 2048]
     result = extra_dirty_footprint.run(footprints=footprints)
-    print("Extra — AGIT recovery work vs dirty footprint")
-    print(extra_dirty_footprint.format_table(result))
+    print("Extra — AGIT recovery work vs dirty footprint", file=out)
+    print(extra_dirty_footprint.format_table(result), file=out)
     return {
         "tracked_blocks": {
             str(pages): result.tracked_blocks[pages]
@@ -194,26 +202,28 @@ def _run_dirty_footprint(full: bool, jobs: int = 1) -> dict:
     }
 
 
-def _run_fault_coverage(full: bool, jobs: int = 1) -> dict:
+def _run_fault_coverage(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = extra_fault_coverage.run(
         trials=240 if full else 60, jobs=jobs
     )
-    print("Extra — fault-injection coverage by scheme")
-    print(extra_fault_coverage.format_table(result))
+    print("Extra — fault-injection coverage by scheme", file=out)
+    print(extra_fault_coverage.format_table(result), file=out)
     return {
         f"{campaign.scheme.value}/{campaign.tree.value}": campaign.matrix()
         for campaign in result.results
     }
 
 
-def _run_security_matrix(full: bool, jobs: int = 1) -> dict:
+def _run_security_matrix(full: bool, jobs: int = 1, out=None) -> dict:
+    out = out if out is not None else sys.stdout
     result = security_matrix.run(
         trace_length=2_000 if full else 1_200,
         num_crash_points=4 if full else 3,
         jobs=jobs,
     )
-    print("Extra — scheme x attack security matrix")
-    print(security_matrix.format_table(result))
+    print("Extra — scheme x attack security matrix", file=out)
+    print(security_matrix.format_table(result), file=out)
     # A violated claim is an experiment failure, not a table footnote.
     result.require_as_claimed()
     return result.to_dict()
@@ -329,10 +339,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cache-stamp",
         metavar="STAMP",
+        nargs="?",
+        const="auto",
         default=None,
         help="scope result-cache keys to a code version (e.g. a git "
         "revision); entries written under another stamp miss instead "
-        "of replaying (default: $REPRO_CACHE_STAMP if set, else "
+        "of replaying.  Bare --cache-stamp (or --cache-stamp auto) "
+        "derives the stamp from the installed package version or git "
+        "HEAD (default: $REPRO_CACHE_STAMP if set, else "
         "version-agnostic keys)",
     )
     parser.add_argument(
@@ -468,6 +482,17 @@ def _resolve_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     if not directory:
         return None
     stamp = args.cache_stamp or os.environ.get("REPRO_CACHE_STAMP") or None
+    if stamp == "auto":
+        from repro.sim.result_cache import derive_cache_stamp
+
+        stamp = derive_cache_stamp()
+        if stamp is None:
+            print(
+                "warning: --cache-stamp auto found neither an installed "
+                "package version nor a git revision; using version-"
+                "agnostic cache keys",
+                file=sys.stderr,
+            )
     return ResultCache(directory, code_stamp=stamp)
 
 

@@ -1,0 +1,57 @@
+"""Campaign-as-a-service: a crash-surviving async job server.
+
+The service layer turns the repository's campaign and experiment
+runners into a long-lived, multi-tenant job server with the same
+durability story the runners themselves have: every accepted job is
+journaled, every trial is checkpointed, and a SIGKILL'd server
+restarts, re-adopts its orphaned jobs, and finishes them with
+artifacts byte-identical to an uninterrupted run.
+
+Public surface:
+
+- :class:`~repro.service.server.ServiceConfig` /
+  :class:`~repro.service.server.JobServer` — the asyncio server.
+- :class:`~repro.service.server.ServerThread` — run it on a
+  background thread (tests and embedding).
+- :class:`~repro.service.client.ServiceClient` — stdlib HTTP client
+  with typed admission errors.
+- :func:`~repro.service.jobs.validate_spec` /
+  :func:`~repro.service.jobs.job_id` — admission-side validation and
+  idempotent submission keys.
+"""
+
+from repro.service.client import (
+    Backpressure,
+    QuotaBackpressure,
+    ServiceClient,
+)
+from repro.service.execution import JobCancelled, JobOutcome, execute_job
+from repro.service.jobs import (
+    JOB_KINDS,
+    Job,
+    JobSpec,
+    JobState,
+    TERMINAL_STATES,
+    job_id,
+    validate_spec,
+)
+from repro.service.server import JobServer, ServerThread, ServiceConfig
+
+__all__ = [
+    "Backpressure",
+    "JOB_KINDS",
+    "Job",
+    "JobCancelled",
+    "JobOutcome",
+    "JobServer",
+    "JobSpec",
+    "JobState",
+    "QuotaBackpressure",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "execute_job",
+    "job_id",
+    "validate_spec",
+]

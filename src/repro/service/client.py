@@ -1,0 +1,235 @@
+"""Standard-library HTTP client for the campaign service.
+
+Used by the ``repro submit|status|watch|cancel`` CLI verbs, the tests,
+and the load benchmark.  Built on :mod:`http.client` so it works in
+the same dependency-free container as the server; the streaming
+``watch`` relies on ``HTTPResponse`` decoding chunked transfer
+encoding transparently.
+
+Error mapping mirrors the server's admission semantics as typed
+exceptions so callers can branch without parsing bodies:
+
+========  ==========================================================
+HTTP      raises
+========  ==========================================================
+400       :class:`~repro.errors.ValidationError`
+404/409   :class:`~repro.errors.ServiceError`
+429       :class:`Backpressure` (with ``retry_after``; quota
+          rejections raise the :class:`~repro.errors.
+          QuotaExceededError` subclass)
+503       :class:`Backpressure` (server draining / degraded)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+from repro.errors import QuotaExceededError, ServiceError, ValidationError
+
+
+class Backpressure(ServiceError):
+    """The server explicitly refused new work (HTTP 429/503).
+
+    ``retry_after`` carries the server's Retry-After hint in seconds;
+    honoring it is what keeps a saturating client from busy-spinning.
+    """
+
+    def __init__(
+        self, message: str, retry_after: float, reason: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class QuotaBackpressure(Backpressure, QuotaExceededError):
+    """A 429 caused by a per-tenant quota rather than the global queue."""
+
+
+class ServiceClient:
+    """A thin synchronous client; one HTTP connection per call."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        url = urlsplit(base_url)
+        if url.scheme not in ("http", ""):
+            raise ValidationError(
+                f"unsupported service URL scheme {url.scheme!r}"
+            )
+        host = url.netloc or url.path
+        if ":" in host:
+            name, _, port = host.rpartition(":")
+            self.host, self.port = name, int(port)
+        else:
+            self.host, self.port = host, 80
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _connect(
+        self, timeout: Optional[float] = None
+    ) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host,
+            self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> Dict[str, Any]:
+        conn = self._connect()
+        try:
+            body = (
+                None
+                if payload is None
+                else json.dumps(payload).encode("utf-8")
+            )
+            headers = (
+                {"Content-Type": "application/json"} if body else {}
+            )
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+            self._raise_for_status(response, doc)
+            return doc
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _raise_for_status(response, doc: Dict[str, Any]) -> None:
+        status = response.status
+        if status < 400:
+            return
+        message = doc.get("error", f"HTTP {status}")
+        if status == 400:
+            raise ValidationError(message)
+        if status in (429, 503):
+            retry_after = float(
+                response.getheader("Retry-After") or 1.0
+            )
+            if doc.get("reason") == "quota":
+                raise QuotaBackpressure(
+                    message, retry_after, reason="quota"
+                )
+            raise Backpressure(
+                message,
+                retry_after,
+                reason=doc.get("reason", "degraded"),
+            )
+        raise ServiceError(f"HTTP {status}: {message}")
+
+    # -- API -----------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        tenant: str = "default",
+        params: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns the job status document.
+
+        Raises the typed admission errors documented in the module
+        docstring.  An idempotent resubmission returns the existing
+        job with ``attached: true``.
+        """
+        payload: Dict[str, Any] = {"kind": kind, "tenant": tenant}
+        if params:
+            payload["params"] = params
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if retries is not None:
+            payload["retries"] = retries
+        return self._request("POST", "/v1/jobs", payload)
+
+    def submit_spec(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a raw spec document (already shaped like the API)."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def status(self, jid: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{jid}")["job"]
+
+    def jobs(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        path = "/v1/jobs"
+        if tenant:
+            path += f"?tenant={tenant}"
+        return self._request("GET", path)
+
+    def cancel(self, jid: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{jid}/cancel")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def degrade(self, level: int) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/v1/admin/degrade", {"level": level}
+        )
+
+    def watch(
+        self, jid: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON events until it reaches a terminal
+        state (the server closes the stream)."""
+        conn = self._connect(timeout=timeout or 3600.0)
+        try:
+            conn.request("GET", f"/v1/jobs/{jid}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+                self._raise_for_status(response, doc)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait(
+        self,
+        jid: Optional[str] = None,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+    ) -> List[Dict[str, Any]]:
+        """Poll until the job — or, with no ``jid``, every job on the
+        server — is terminal.  Returns the terminal status documents;
+        raises :class:`~repro.errors.ServiceError` on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if jid is not None:
+                docs = [self.status(jid)]
+            else:
+                docs = self.jobs()["jobs"]
+            if all(
+                d["state"] in ("SUCCEEDED", "FAILED", "CANCELLED")
+                for d in docs
+            ):
+                return docs
+            if time.monotonic() >= deadline:
+                pending = [
+                    d["id"]
+                    for d in docs
+                    if d["state"]
+                    not in ("SUCCEEDED", "FAILED", "CANCELLED")
+                ]
+                raise ServiceError(
+                    f"timed out waiting for job(s) {pending}"
+                )
+            time.sleep(poll)

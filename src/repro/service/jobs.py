@@ -1,0 +1,411 @@
+"""Job model and admission-time validation for the campaign service.
+
+A *job* is one unit the server accepts, schedules, journals, and
+survives restarts with: a sweep (paper figures through the experiments
+harness), a fault campaign, an attack campaign, or a probe (a tiny
+deterministic workload the load generator uses to saturate the queue
+without burning simulation time).
+
+Everything here is admission-side: :func:`validate_spec` rejects a bad
+submission with a typed :class:`~repro.errors.ValidationError` *before*
+any worker sees it (the server maps that to HTTP 400), and
+:func:`job_id` derives the idempotent submission key — the same tenant
+submitting the same work gets the same id, so a resubmission attaches
+to the existing job instead of duplicating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.errors import ValidationError
+from repro.sim.checkpoint import fingerprint
+from repro.sim.parallel import validate_supervision
+
+#: The job kinds the server executes.
+JOB_KINDS = ("sweep", "faults", "attack", "probe")
+
+#: Ceiling on tenant-name length (it lands in paths and telemetry).
+_MAX_TENANT = 64
+
+
+class JobState(Enum):
+    """Lifecycle of one accepted job.
+
+    ``QUEUED`` and ``RUNNING`` are the live states a restarted server
+    re-adopts; the terminal states are kept for status queries but
+    never re-executed.
+    """
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+#: Per-kind parameter schema: name -> (type, default).  ``None``
+#: defaults mean "the executor decides"; everything else mirrors the
+#: corresponding CLI default exactly, so a service job with no extra
+#: parameters produces artifacts byte-identical to a bare CLI run.
+_FAULTS_PARAMS: Dict[str, tuple] = {
+    "scheme": (str, "anubis"),
+    "tree": ((str, type(None)), None),
+    "capacity_gib": (int, 1),
+    "cache_kib": (int, 32),
+    "seed": (int, 0),
+    "trials": ((int, type(None)), 100),
+    "exhaustive": (bool, False),
+    "workload": (str, "hammer"),
+    "length": (int, 2_000),
+    "crash_points": (int, 8),
+    "probe_reads": (int, 8),
+    "nested_fraction": (float, 0.25),
+}
+
+_ATTACK_PARAMS: Dict[str, tuple] = {
+    "scheme": (str, "anubis"),
+    "tree": ((str, type(None)), None),
+    "capacity_gib": (int, 1),
+    "cache_kib": (int, 32),
+    "seed": (int, 0),
+    "trials": ((int, type(None)), None),
+    "window": (str, "both"),
+    "workload": (str, "hammer"),
+    "length": (int, 2_000),
+    "crash_points": (int, 6),
+    "probe_reads": (int, 8),
+}
+
+_SWEEP_PARAMS: Dict[str, tuple] = {
+    "experiments": (list, None),
+    "full": (bool, False),
+}
+
+_PROBE_PARAMS: Dict[str, tuple] = {
+    "sleep_ms": (int, 50),
+    "steps": (int, 4),
+    "fail": (bool, False),
+}
+
+_PARAM_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "faults": _FAULTS_PARAMS,
+    "attack": _ATTACK_PARAMS,
+    "sweep": _SWEEP_PARAMS,
+    "probe": _PROBE_PARAMS,
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated submission: what to run, for whom, how supervised."""
+
+    kind: str
+    tenant: str = "default"
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Per-job supervision overrides (None inherits the server policy).
+    timeout: Optional[float] = None
+    retries: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "params": dict(self.params),
+            "timeout": self.timeout,
+            "retries": self.retries,
+        }
+
+    def weight(self) -> int:
+        """Queued-work size for the per-tenant trial quota.
+
+        Campaign jobs weigh their trial count, sweeps one unit per
+        experiment, probes one — the quota bounds *work*, not job
+        count, so one tenant cannot park a single million-trial
+        campaign in the queue and call it one job.
+        """
+        if self.kind in ("faults", "attack"):
+            trials = self.params.get("trials")
+            if trials is None:
+                # Exhaustive grid: crash points x catalogue; bounded
+                # estimate (the default catalogues are < 16 models).
+                return int(self.params.get("crash_points", 8)) * 16
+            return int(trials)
+        if self.kind == "sweep":
+            return len(self.params.get("experiments", ())) or 1
+        return 1
+
+
+def _check_type(kind: str, name: str, value: Any, expected) -> None:
+    if not isinstance(expected, tuple):
+        expected = (expected,)
+    # bool is an int subclass; an int-typed parameter must still
+    # reject True/False or "trials": true would slip through.
+    if bool not in expected and isinstance(value, bool):
+        raise ValidationError(
+            f"{kind} parameter {name!r} must be "
+            f"{'/'.join(t.__name__ for t in expected)}, got a bool"
+        )
+    if isinstance(value, expected):
+        return
+    if float in expected and isinstance(value, int):
+        return
+    raise ValidationError(
+        f"{kind} parameter {name!r} must be "
+        f"{'/'.join(t.__name__ for t in expected)}, "
+        f"got {type(value).__name__}"
+    )
+
+
+def validate_spec(payload: Any) -> JobSpec:
+    """Validate one submission body into a :class:`JobSpec`.
+
+    Raises :class:`~repro.errors.ValidationError` (mapped to HTTP 400
+    by the server) on anything a worker could crash on later: unknown
+    kinds or parameters, wrong types, out-of-range supervision values,
+    unknown experiment names.  Unknown parameter *names* are rejected
+    rather than ignored — a silently dropped typo ("trails": 500) is a
+    wrong campaign, not a convenience.
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError("submission body must be a JSON object")
+    unknown = set(payload) - {"kind", "tenant", "params", "timeout",
+                              "retries"}
+    if unknown:
+        raise ValidationError(
+            f"unknown submission field(s): {sorted(unknown)}"
+        )
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ValidationError(
+            f"kind must be one of {JOB_KINDS}, got {kind!r}"
+        )
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ValidationError("tenant must be a non-empty string")
+    if len(tenant) > _MAX_TENANT:
+        raise ValidationError(
+            f"tenant must be at most {_MAX_TENANT} characters"
+        )
+    if not all(c.isalnum() or c in "-_." for c in tenant):
+        raise ValidationError(
+            "tenant may contain only letters, digits, '-', '_', '.'"
+        )
+
+    timeout = payload.get("timeout")
+    retries = payload.get("retries")
+    validate_supervision(timeout=timeout, retries=retries)
+
+    raw_params = payload.get("params", {})
+    if not isinstance(raw_params, dict):
+        raise ValidationError("params must be a JSON object")
+    schema = _PARAM_SCHEMAS[kind]
+    unknown = set(raw_params) - set(schema)
+    if unknown:
+        raise ValidationError(
+            f"unknown {kind} parameter(s): {sorted(unknown)} "
+            f"(known: {sorted(schema)})"
+        )
+    params: Dict[str, Any] = {}
+    for name, (expected, default) in schema.items():
+        value = raw_params.get(name, default)
+        if value is default and name not in raw_params:
+            if default is None and expected is list:
+                raise ValidationError(
+                    f"{kind} requires parameter {name!r}"
+                )
+            params[name] = default
+            continue
+        _check_type(kind, name, value, expected)
+        params[name] = value
+
+    _validate_kind_params(kind, params)
+    return JobSpec(
+        kind=kind,
+        tenant=tenant,
+        params=params,
+        timeout=None if timeout is None else float(timeout),
+        retries=None if retries is None else int(retries),
+    )
+
+
+def _validate_kind_params(kind: str, params: Dict[str, Any]) -> None:
+    """Range and cross-field checks beyond plain types."""
+    if kind in ("faults", "attack"):
+        for name in ("capacity_gib", "cache_kib", "length",
+                     "crash_points"):
+            if params[name] <= 0:
+                raise ValidationError(
+                    f"{kind} parameter {name!r} must be positive, "
+                    f"got {params[name]}"
+                )
+        if params.get("probe_reads", 0) < 0:
+            raise ValidationError(
+                f"{kind} parameter 'probe_reads' must be >= 0"
+            )
+        trials = params.get("trials")
+        if trials is not None and trials <= 0:
+            raise ValidationError(
+                f"{kind} parameter 'trials' must be positive, "
+                f"got {trials}"
+            )
+        from repro.config import SchemeKind, TreeKind
+
+        scheme = params["scheme"]
+        if scheme != "anubis" and scheme not in (
+            k.value for k in SchemeKind
+        ):
+            raise ValidationError(
+                f"unknown scheme {scheme!r}"
+            )
+        tree = params.get("tree")
+        if tree is not None and tree != "bmt" and tree not in (
+            k.value for k in TreeKind
+        ):
+            raise ValidationError(f"unknown tree {tree!r}")
+        if kind == "faults":
+            fraction = params["nested_fraction"]
+            if not 0.0 <= float(fraction) <= 1.0:
+                raise ValidationError(
+                    "faults parameter 'nested_fraction' must be in "
+                    f"[0, 1], got {fraction}"
+                )
+        if kind == "attack":
+            if params["window"] not in (
+                "at_crash", "mid_recovery", "both"
+            ):
+                raise ValidationError(
+                    "attack parameter 'window' must be at_crash, "
+                    f"mid_recovery, or both, got {params['window']!r}"
+                )
+        from repro.traces.profiles import profile_names
+
+        workload = params["workload"]
+        if workload != "hammer" and workload not in profile_names():
+            raise ValidationError(f"unknown workload {workload!r}")
+    elif kind == "sweep":
+        from repro.experiments.runner import EXPERIMENTS
+
+        names = params["experiments"]
+        if not names:
+            raise ValidationError(
+                "sweep requires a non-empty 'experiments' list"
+            )
+        for name in names:
+            if name not in EXPERIMENTS:
+                raise ValidationError(
+                    f"unknown experiment {name!r} "
+                    f"(known: {sorted(EXPERIMENTS)})"
+                )
+    elif kind == "probe":
+        if params["sleep_ms"] < 0:
+            raise ValidationError("probe 'sleep_ms' must be >= 0")
+        if params["steps"] <= 0:
+            raise ValidationError("probe 'steps' must be positive")
+
+
+def job_id(spec: JobSpec) -> str:
+    """The idempotent submission key of a spec.
+
+    Same tenant + same work + same supervision ⇒ same id, in any
+    process — a resubmission lands on the existing job.  The tenant is
+    included deliberately: two tenants submitting identical work get
+    *separate* jobs (separate quotas, separate artifacts).
+    """
+    return fingerprint(
+        "service-job",
+        spec.tenant,
+        spec.kind,
+        spec.params,
+        spec.timeout,
+        spec.retries,
+    )
+
+
+@dataclass
+class Job:
+    """The server-side record of one accepted job."""
+
+    id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    #: Monotonic admission sequence — the scheduler's FIFO key.
+    submitted_seq: int = 0
+    #: Server generation that last ran (or is running) the job.
+    generation: int = 0
+    attempts: int = 0
+    error: Optional[str] = None
+    #: Relative path of the result artifact once the job succeeded.
+    artifact: Optional[str] = None
+    #: Small terminal summary (outcome counts, figures run).
+    summary: Optional[Dict[str, Any]] = None
+    #: Progress: completed / total work units (trials, experiments).
+    done: int = 0
+    total: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Journal payload — the whole resumable state of the job."""
+        return {
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "state": self.state.value,
+            "submitted_seq": self.submitted_seq,
+            "generation": self.generation,
+            "attempts": self.attempts,
+            "error": self.error,
+            "artifact": self.artifact,
+            "summary": self.summary,
+            "done": self.done,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Job":
+        spec_payload = dict(payload["spec"])
+        spec = JobSpec(
+            kind=spec_payload["kind"],
+            tenant=spec_payload["tenant"],
+            params=dict(spec_payload["params"]),
+            timeout=spec_payload.get("timeout"),
+            retries=spec_payload.get("retries"),
+        )
+        return cls(
+            id=payload["id"],
+            spec=spec,
+            state=JobState(payload["state"]),
+            submitted_seq=int(payload["submitted_seq"]),
+            generation=int(payload.get("generation", 0)),
+            attempts=int(payload.get("attempts", 0)),
+            error=payload.get("error"),
+            artifact=payload.get("artifact"),
+            summary=payload.get("summary"),
+            done=int(payload.get("done", 0)),
+            total=int(payload.get("total", 0)),
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status(self) -> Dict[str, Any]:
+        """The public (HTTP) status document."""
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "tenant": self.spec.tenant,
+            "state": self.state.value,
+            "done": self.done,
+            "total": self.total,
+            "attempts": self.attempts,
+            "error": self.error,
+            "artifact": self.artifact,
+            "summary": self.summary,
+        }

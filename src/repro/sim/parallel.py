@@ -54,7 +54,7 @@ from typing import (
 
 from repro.config import SystemConfig
 from repro.crypto.keys import ProcessorKeys
-from repro.errors import WorkerCrashError, WorkerTimeoutError
+from repro.errors import ValidationError, WorkerCrashError, WorkerTimeoutError
 from repro.sim.results import SimulationResult
 from repro.traces.trace import Trace
 
@@ -97,6 +97,55 @@ def configure_executor_defaults(**overrides: object) -> None:
         if key not in _EXECUTOR_DEFAULTS:
             raise ValueError(f"unknown executor default {key!r}")
         _EXECUTOR_DEFAULTS[key] = value
+
+
+def validate_supervision(
+    timeout: Union[float, None] = None,
+    retries: Union[int, None] = None,
+    backoff: Union[float, None] = None,
+) -> None:
+    """Reject unusable supervision parameters with a typed error.
+
+    Called at executor construction *and* by the job service at
+    admission time, so a bad ``timeout``/``retries`` in a submission
+    becomes an HTTP 400 instead of a worker-side crash hours later.
+    ``None`` values are skipped (meaning "not specified").
+    """
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"timeout must be a number of seconds, got {timeout!r}"
+            ) from None
+        if timeout <= 0:
+            raise ValidationError(
+                f"timeout must be positive, got {timeout}"
+            )
+    if retries is not None:
+        try:
+            valid = float(retries).is_integer()
+        except (TypeError, ValueError):
+            valid = False
+        if not valid:
+            raise ValidationError(
+                f"retries must be an integer, got {retries!r}"
+            )
+        if int(float(retries)) < 0:
+            raise ValidationError(
+                f"retries must be >= 0, got {retries}"
+            )
+    if backoff is not None:
+        try:
+            backoff = float(backoff)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"backoff must be a number of seconds, got {backoff!r}"
+            ) from None
+        if backoff < 0:
+            raise ValidationError(
+                f"backoff must be >= 0, got {backoff}"
+            )
 
 
 def max_reasonable_jobs() -> int:
@@ -215,14 +264,45 @@ class ParallelSweepExecutor:
         def pick(name: str, value):
             return _EXECUTOR_DEFAULTS[name] if value is _UNSET else value
 
-        self.timeout = pick("timeout", timeout)
-        self.retries = max(int(pick("retries", retries)), 0)
-        self.backoff = float(pick("backoff", backoff))
+        picked_timeout = pick("timeout", timeout)
+        picked_retries = pick("retries", retries)
+        picked_backoff = pick("backoff", backoff)
+        validate_supervision(
+            timeout=picked_timeout,
+            retries=picked_retries,
+            backoff=picked_backoff,
+        )
+        self.timeout = (
+            None if picked_timeout is None else float(picked_timeout)
+        )
+        self.retries = int(float(picked_retries))
+        self.backoff = float(picked_backoff)
         self.maxtasksperchild = pick("maxtasksperchild", maxtasksperchild)
-        if self.timeout is not None and self.timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {self.timeout}")
         #: Diagnostics: (cell index, error repr) per failed attempt.
         self.retry_log: List[Tuple[int, str]] = []
+
+    def with_overrides(
+        self,
+        jobs: Union[int, str, None, object] = _UNSET,
+        timeout: Union[float, None, object] = _UNSET,
+        retries: Union[int, object] = _UNSET,
+    ) -> "ParallelSweepExecutor":
+        """A fresh executor sharing this one's policy, selectively
+        overridden.
+
+        The job service holds one template executor and derives a
+        per-job handle from it (per-job timeout/retry without mutating
+        the shared policy); the derived executor gets its own clean
+        ``retry_log``.
+        """
+        return ParallelSweepExecutor(
+            jobs=self.jobs if jobs is _UNSET else jobs,
+            chunksize=self.chunksize,
+            timeout=self.timeout if timeout is _UNSET else timeout,
+            retries=self.retries if retries is _UNSET else retries,
+            backoff=self.backoff,
+            maxtasksperchild=self.maxtasksperchild,
+        )
 
     @property
     def is_parallel(self) -> bool:

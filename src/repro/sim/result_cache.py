@@ -361,6 +361,55 @@ class ResultCache:
 
 
 # ----------------------------------------------------------------------
+# Code-stamp derivation
+# ----------------------------------------------------------------------
+
+def derive_cache_stamp(
+    package: str = "repro", cwd: Optional[str] = None
+) -> Optional[str]:
+    """Best-effort automatic code stamp (``--cache-stamp auto``).
+
+    Preference order:
+
+    1. ``pkg:<version>`` — the installed distribution version of
+       ``package``.  An installed package is the deployment story, and
+       its version changes exactly when the code does.
+    2. ``git:<sha>`` — ``git rev-parse HEAD`` of ``cwd`` (default: the
+       current directory).  The source-checkout story.
+    3. ``None`` — no package metadata and no repository; the caller
+       falls back to an unstamped cache rather than failing the run.
+
+    The prefixes keep the two namespaces from colliding: version
+    strings and abbreviated hashes can look alike.
+    """
+    try:
+        from importlib import metadata
+
+        version = metadata.version(package)
+        if version:
+            return f"pkg:{version}"
+    except Exception:  # noqa: BLE001 — not installed, no metadata
+        pass
+    try:
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+            cwd=cwd,
+        )
+        sha = proc.stdout.strip()
+        if proc.returncode == 0 and sha:
+            return f"git:{sha}"
+    except Exception:  # noqa: BLE001 — no git binary, sandboxed
+        pass
+    return None
+
+
+# ----------------------------------------------------------------------
 # Domain keys
 # ----------------------------------------------------------------------
 

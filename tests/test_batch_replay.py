@@ -431,3 +431,69 @@ class TestVectorizedHelpers:
         for address, major, minor in tuples:
             assert warmed.encrypt(plaintext, address, major, minor) == \
                 cold.encrypt(plaintext, address, major, minor)
+
+
+# ---------------------------------------------------------------------------
+# batch-mode inheritance in campaign workers
+# ---------------------------------------------------------------------------
+
+class _BatchModeProbeFault:
+    """A fault model whose trial record captures the *worker-side*
+    batch mode — module-level so spawn workers can unpickle it."""
+
+    name = "batch_probe"
+    tamper = False
+    window = "at_crash"
+
+    def applies_to(self, config):
+        return True
+
+    def plan_flush(self, rng, pending):
+        return (0, 0)
+
+    def inject(self, rng, ctx):
+        from repro.faults.models import InjectedFault
+
+        return InjectedFault(self.name, f"batch={active_batch_mode()}")
+
+
+class TestCampaignWorkerBatchMode:
+    """``--batch off`` must reach spawn-based campaign workers.
+
+    Spawn workers inherit no parent globals: before the worker payload
+    carried the resolved mode, a parent-side ``configure_batch_mode``
+    call silently reverted to ``auto`` inside every worker, so the
+    scalar-exact setting a user asked for was only honoured at
+    ``--jobs 1``."""
+
+    def _run(self, mode, jobs):
+        from repro.faults.campaign import CampaignConfig, run_campaign
+        from repro.sim.parallel import ParallelSweepExecutor
+
+        previous = active_batch_mode()
+        configure_batch_mode(mode)
+        try:
+            result = run_campaign(
+                CampaignConfig(
+                    system=small_config(),
+                    trials=4,
+                    trace_length=200,
+                    num_crash_points=2,
+                    probe_reads=2,
+                    nested_crash_fraction=0.0,
+                    catalogue=[_BatchModeProbeFault()],
+                ),
+                executor=ParallelSweepExecutor(jobs),
+            )
+        finally:
+            configure_batch_mode(previous)
+        return [trial.description for trial in result.trials]
+
+    def test_off_reaches_spawn_workers(self):
+        assert self._run("off", jobs=2) == ["batch=off"] * 4
+
+    def test_on_reaches_spawn_workers(self):
+        assert self._run("on", jobs=2) == ["batch=on"] * 4
+
+    def test_serial_path_unchanged(self):
+        assert self._run("off", jobs=1) == ["batch=off"] * 4

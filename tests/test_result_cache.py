@@ -378,3 +378,60 @@ def test_configure_result_cache_installs_and_disarms(cache):
     assert active_result_cache() is cache
     configure_result_cache(None)
     assert active_result_cache() is None
+
+
+# ---------------------------------------------------------------------------
+# automatic code stamps (--cache-stamp auto)
+# ---------------------------------------------------------------------------
+
+
+class TestDeriveCacheStamp:
+    def test_prefers_installed_package_version(self, monkeypatch):
+        from importlib import metadata
+
+        from repro.sim.result_cache import derive_cache_stamp
+
+        monkeypatch.setattr(
+            metadata, "version", lambda package: "9.9.9"
+        )
+        assert derive_cache_stamp() == "pkg:9.9.9"
+
+    def test_falls_back_to_git_head(self, monkeypatch, tmp_path):
+        import subprocess
+        from importlib import metadata
+
+        from repro.sim.result_cache import derive_cache_stamp
+
+        def missing(package):
+            raise metadata.PackageNotFoundError(package)
+
+        monkeypatch.setattr(metadata, "version", missing)
+        subprocess.run(
+            ["git", "init", "-q"], cwd=tmp_path, check=True
+        )
+        subprocess.run(
+            [
+                "git", "-c", "user.email=t@example.com",
+                "-c", "user.name=t", "commit",
+                "--allow-empty", "-q", "-m", "stamp",
+            ],
+            cwd=tmp_path,
+            check=True,
+        )
+        stamp = derive_cache_stamp(cwd=str(tmp_path))
+        assert stamp is not None and stamp.startswith("git:")
+        assert len(stamp[len("git:"):]) == 40
+
+    def test_returns_none_when_nothing_available(
+        self, monkeypatch, tmp_path
+    ):
+        from importlib import metadata
+
+        from repro.sim.result_cache import derive_cache_stamp
+
+        def missing(package):
+            raise metadata.PackageNotFoundError(package)
+
+        monkeypatch.setattr(metadata, "version", missing)
+        # An empty directory: not a git repository.
+        assert derive_cache_stamp(cwd=str(tmp_path)) is None
