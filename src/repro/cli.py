@@ -9,7 +9,12 @@ Commands:
 * ``stats`` — replay a workload with telemetry enabled and print the
   full metric table (counts, means, p50/p95/max) plus per-kind event
   counts; ``--metrics-out``/``--trace-out`` write machine-readable
-  snapshots;
+  snapshots, ``--format json`` emits the report as JSON, and
+  ``--from-metrics`` re-reads a previously written snapshot (exiting
+  nonzero with a clear message when the file is not a valid snapshot);
+* ``recover-report`` — print the per-phase analytic recovery-time
+  breakdown for Osiris and both Anubis engines (the flight recorder's
+  phase taxonomy; phases sum to the headline recovery totals exactly);
 * ``crash-demo`` — write a workload, inject a power failure, run the
   matching recovery engine, and report the outcome;
 * ``faults`` — run a deterministic fault-injection campaign (crash
@@ -29,7 +34,10 @@ Commands:
   tenants, journals every job, and survives SIGKILL (restart with the
   same ``--data-dir`` resumes every in-flight job byte-identically);
 * ``submit`` / ``status`` / ``watch`` / ``cancel`` — client verbs for
-  a running service.
+  a running service; ``watch --telemetry`` follows the live per-trial
+  feed instead of the progress events;
+* ``top`` — a refreshing terminal view of a running service (health
+  line plus per-job progress bars; ``--once`` prints a single frame).
 """
 
 from __future__ import annotations
@@ -132,7 +140,66 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metric_table(stats: dict, indent: str = "  ") -> None:
+    """Aligned key/value rendering shared by the stats views."""
+    width = max(len(key) for key in stats) if stats else 0
+    for key in sorted(stats):
+        value = stats[key]
+        rendered = f"{value:,.4f}" if value % 1 else f"{int(value):,}"
+        print(f"{indent}{key:<{width}} {rendered}")
+
+
+def _stats_from_metrics(args: argparse.Namespace) -> int:
+    """Validate and re-render a snapshot written by ``--metrics-out``."""
+    import json
+
+    from repro.telemetry.runtime import METRICS_SCHEMA
+
+    path = args.from_metrics
+    try:
+        with open(path) as stream:
+            snapshot = json.load(stream)
+    except OSError as exc:
+        raise ReproError(f"cannot read metrics file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"metrics file {path!r} is not valid JSON: {exc}"
+        )
+    if (
+        not isinstance(snapshot, dict)
+        or snapshot.get("schema") != METRICS_SCHEMA
+    ):
+        found = (
+            snapshot.get("schema") if isinstance(snapshot, dict) else None
+        )
+        raise ReproError(
+            f"metrics file {path!r} does not carry schema "
+            f"{METRICS_SCHEMA!r} (found {found!r}) — point "
+            "--from-metrics at a file written by --metrics-out"
+        )
+    cells = snapshot.get("cells")
+    if not cells:
+        raise ReproError(
+            f"metrics file {path!r} is schema-valid but holds no cells "
+            "— nothing to report"
+        )
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"{len(cells)} cell(s) from {path}")
+    for cell in cells:
+        label = cell.get("benchmark", "?")
+        scheme = cell.get("scheme", "?")
+        print(f"\ncell {cell.get('cell', '?')} — {label}/{scheme}:")
+        _print_metric_table(cell.get("stats") or {})
+    print("\ntotals:")
+    _print_metric_table(snapshot.get("totals") or {})
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
+    import json
+
     from repro.sim.checkpoint import atomic_write_json, fingerprint
     from repro.telemetry.events import write_jsonl
     from repro.telemetry.runtime import (
@@ -141,6 +208,9 @@ def _command_stats(args: argparse.Namespace) -> int:
         build_manifest,
         write_manifest,
     )
+
+    if args.from_metrics:
+        return _stats_from_metrics(args)
 
     config, keys = _resolve_system(args)
     trace = generate_trace(
@@ -178,19 +248,34 @@ def _command_stats(args: argparse.Namespace) -> int:
             ),
         )
 
+    kinds: dict = {}
+    for event in result.events or []:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "workload": args.workload,
+                "length": args.length,
+                "scheme": config.scheme.value,
+                "tree": config.tree.value,
+                "elapsed_ns": result.elapsed_ns,
+                "ns_per_access": result.ns_per_access,
+                "metrics": dict(sorted(result.stats.items())),
+                "events": kinds,
+                "telemetry": result.telemetry or {},
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+
     print(f"workload       : {trace}")
     print(f"scheme         : {config.scheme.value} ({config.tree.value})")
     print(f"elapsed        : {result.elapsed_ns / 1e6:.3f} ms "
           f"({result.ns_per_access:.1f} ns/access)")
     print("\nmetrics:")
-    width = max(len(key) for key in result.stats) if result.stats else 0
-    for key in sorted(result.stats):
-        value = result.stats[key]
-        rendered = f"{value:,.4f}" if value % 1 else f"{int(value):,}"
-        print(f"  {key:<{width}} {rendered}")
-    kinds: dict = {}
-    for event in result.events or []:
-        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    _print_metric_table(result.stats)
     print(f"\nevents ({len(result.events or [])} total"
           + (", detail on" if args.detail else "") + "):")
     for kind in sorted(kinds):
@@ -262,6 +347,69 @@ def _crash_demo_body(args: argparse.Namespace) -> int:
     bad = sum(1 for address, data in checked if reborn.read(address) != data)
     print(f"data check: {len(checked) - bad}/{len(checked)} lines intact")
     return 0 if bad == 0 else 1
+
+
+#: ``repro recover-report`` JSON schema identifier.
+RECOVER_REPORT_SCHEMA = "repro.telemetry.recover-report/1"
+
+
+def _command_recover_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.recovery_time import (
+        agit_recovery_breakdown,
+        asit_recovery_breakdown,
+        osiris_recovery_breakdown,
+    )
+    from repro.experiments.reporting import format_seconds
+    from repro.sim.checkpoint import atomic_write_json
+
+    capacity = args.capacity_gib * GIB
+    cache = args.cache_kib * KIB
+    # Same parameterization as the figures: AGIT sizes both metadata
+    # caches, ASIT's unified metadata cache gets their sum.
+    schemes = {
+        "osiris": osiris_recovery_breakdown(capacity, args.stop_loss),
+        "anubis_agit": agit_recovery_breakdown(cache, cache),
+        "anubis_asit": asit_recovery_breakdown(2 * cache),
+    }
+    report = {
+        "schema": RECOVER_REPORT_SCHEMA,
+        "arguments": {
+            "capacity_gib": args.capacity_gib,
+            "cache_kib": args.cache_kib,
+            "stop_loss": args.stop_loss,
+        },
+        "schemes": {
+            name: {
+                "phases": phases,
+                "total_seconds": sum(phases.values()),
+            }
+            for name, phases in schemes.items()
+        },
+    }
+    if args.json:
+        atomic_write_json(args.json, report)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        "per-phase recovery breakdown "
+        f"(osiris over {args.capacity_gib} GiB memory; anubis over "
+        f"{args.cache_kib} KiB caches)"
+    )
+    for name, phases in schemes.items():
+        total = sum(phases.values())
+        print(f"\n{name}  — total {format_seconds(total)}")
+        width = max(len(phase) for phase in phases)
+        for phase, seconds in phases.items():
+            share = seconds / total * 100.0 if total else 0.0
+            print(
+                f"  {phase:<{width}}  {seconds:>16.6f} s  {share:5.1f}%"
+            )
+    if args.json:
+        print(f"\nreport written to {args.json}")
+    return 0
 
 
 def _resolve_faults_system(args: argparse.Namespace):
@@ -706,10 +854,11 @@ def _command_submit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _follow_job(client, jid: str) -> int:
+def _follow_job(client, jid: str, telemetry: bool = False) -> int:
     import json
 
-    for event in client.watch(jid):
+    stream = client.telemetry(jid) if telemetry else client.watch(jid)
+    for event in stream:
         print(json.dumps(event, sort_keys=True), flush=True)
     final = client.status(jid)
     print(f"job {jid}: {final['state']}")
@@ -751,7 +900,61 @@ def _command_status(args: argparse.Namespace) -> int:
 def _command_watch(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
-    return _follow_job(ServiceClient(_service_url(args)), args.job)
+    return _follow_job(
+        ServiceClient(_service_url(args)),
+        args.job,
+        telemetry=args.telemetry,
+    )
+
+
+def _render_top(health: dict, docs: list) -> list:
+    """One ``repro top`` frame as a list of lines."""
+    lines = [
+        f"repro service — generation {health['generation']}, "
+        f"level {health['level']}, queue {health['queue_depth']}, "
+        f"inflight {health['inflight']}, active {health['active']}"
+    ]
+    if not docs:
+        lines.append("(no jobs)")
+        return lines
+    width = max(len(doc["id"]) for doc in docs)
+    for doc in docs:
+        total = doc.get("total") or 0
+        done = doc.get("done") or 0
+        if total:
+            filled = int(round(done / total * 20))
+            bar = "#" * filled + "-" * (20 - filled)
+            progress = f"[{bar}] {done}/{total}"
+        else:
+            progress = " " * 22 + "—"
+        error = f" — {doc['error']}" if doc.get("error") else ""
+        lines.append(
+            f"{doc['id']:<{width}}  {doc['tenant']:<12} "
+            f"{doc['kind']:<7} {doc['state']:<9} {progress}{error}"
+        )
+    return lines
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    try:
+        while True:
+            health = client.healthz()
+            docs = client.jobs()["jobs"]
+            if not args.once:
+                # Home the cursor and clear: a flicker-free refresh
+                # without curses.
+                print("\x1b[H\x1b[2J", end="")
+            print("\n".join(_render_top(health, docs)), flush=True)
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _command_cancel(args: argparse.Namespace) -> int:
@@ -814,7 +1017,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the metrics snapshot (and PATH.manifest.json)",
     )
+    stats.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="report rendering (default: table)",
+    )
+    stats.add_argument(
+        "--from-metrics",
+        metavar="PATH",
+        default=None,
+        help="skip the simulation and re-render a metrics snapshot "
+        "written by --metrics-out; exits 2 with a clear message when "
+        "the file is missing, schema-mismatched, or empty",
+    )
     stats.set_defaults(handler=_command_stats)
+
+    recover = commands.add_parser(
+        "recover-report",
+        help="per-phase analytic recovery-time breakdown "
+        "(osiris, anubis AGIT/ASIT)",
+    )
+    recover.add_argument(
+        "--capacity-gib",
+        type=int,
+        default=16,
+        help="memory capacity for the Osiris model in GiB (default: 16)",
+    )
+    recover.add_argument(
+        "--cache-kib",
+        type=int,
+        default=256,
+        help="per-cache size for the Anubis models in KiB "
+        "(default: 256)",
+    )
+    recover.add_argument(
+        "--stop-loss",
+        type=int,
+        default=4,
+        help="Osiris stop-loss limit (default: 4)",
+    )
+    recover.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="report rendering (default: table)",
+    )
+    recover.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the report as JSON to PATH",
+    )
+    recover.set_defaults(handler=_command_recover_report)
 
     demo = commands.add_parser(
         "crash-demo", help="workload -> power failure -> recovery"
@@ -1251,7 +1506,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_server_argument(watch)
     watch.add_argument("job", help="job id")
+    watch.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="follow the live telemetry feed (per-trial outcomes and "
+        "sampled progress) instead of the progress events",
+    )
     watch.set_defaults(handler=_command_watch)
+
+    top = commands.add_parser(
+        "top",
+        help="refreshing terminal view of a running campaign service",
+    )
+    _add_server_argument(top)
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (scripts, CI)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        metavar="SECONDS",
+        default=1.0,
+        help="refresh period (default: 1.0)",
+    )
+    top.set_defaults(handler=_command_top)
 
     cancel = commands.add_parser(
         "cancel", help="cancel a queued or running job"

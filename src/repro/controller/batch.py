@@ -71,38 +71,62 @@ _MAC56_MASK = mask(56)
 _MINOR_MAX = mask(SplitCounterBlock.minor_bits)
 
 
-def batch_supported(controller) -> bool:
-    """True when ``controller`` can run the batched fast path.
+def scalar_fallback_reason(
+    controller, check_reads: bool = False
+) -> Optional[str]:
+    """Why this controller must replay scalar, or None if it may batch.
 
-    Refused combinations fall back to full scalar replay:
+    The reason strings feed ``batch.fallback`` events so fallback
+    frequency is observable.  Refused combinations:
 
+    * ``check_reads`` — functional oracle comparison needs per-request
+      read results;
     * non-Bonsai controllers (SGX/ASIT use lazy combined-cache
       verification with parent-nonce coupling — no steady-state window
       where skipping it is provably exact);
     * STRICT_PERSISTENCE (stages *cached ancestors* and cleans them on
       every write — per-access tree traffic, nothing to batch);
-    * a live telemetry session (the event stream must carry per-access
-      events in scalar order at ``--trace-detail`` parity);
     * non-64B block geometries (the vectorized decomposition assumes
       the global ``BLOCK_SIZE``);
     * a single-entry WPQ (the inline insert assumes one access's
-      data + counter pair fits without a mid-insert overflow drain).
+      data + counter pair fits without a mid-insert overflow drain);
+    * an armed metric sampler (the op-tick series must observe every
+      request in scalar order);
+    * numpy missing.
+    """
+    if check_reads:
+        return "check_reads"
+    if not isinstance(controller, BonsaiController):
+        return "controller"
+    if controller.scheme == SchemeKind.STRICT_PERSISTENCE:
+        return "strict_persistence"
+    if controller.config.tree != TreeKind.BONSAI:
+        return "tree"
+    if controller.config.memory.block_size != BLOCK_SIZE:
+        return "geometry"
+    if controller.wpq.capacity < 2:
+        return "wpq"
+    from repro.telemetry.runtime import sampling_active
+
+    if sampling_active():
+        return "sampling"
+    from repro.traces.trace import numpy_or_none
+
+    if numpy_or_none() is None:
+        return "numpy"
+    return None
+
+
+def batch_supported(controller) -> bool:
+    """True when ``controller`` can run the batched fast path.
+
+    A live telemetry session also refuses batching (the event stream
+    must carry per-access events in scalar order at ``--trace-detail``
+    parity); every other refusal is :func:`scalar_fallback_reason`.
     """
     if live_tracer().enabled:
         return False
-    if not isinstance(controller, BonsaiController):
-        return False
-    if controller.scheme == SchemeKind.STRICT_PERSISTENCE:
-        return False
-    if controller.config.tree != TreeKind.BONSAI:
-        return False
-    if controller.config.memory.block_size != BLOCK_SIZE:
-        return False
-    if controller.wpq.capacity < 2:
-        return False
-    from repro.traces.trace import numpy_or_none
-
-    return numpy_or_none() is not None
+    return scalar_fallback_reason(controller) is None
 
 
 def _tree_path(controller, counter_address: int) -> tuple:

@@ -34,7 +34,8 @@ from repro.errors import RootMismatchError, UnrecoverableError
 from repro.mem.ecc import ECC_BYTES, SecdedCodec
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
-from repro.telemetry.runtime import live_tracer, span
+from repro.telemetry.flightrec import FlightRecorder, breakdown_seconds
+from repro.telemetry.runtime import live_tracer
 
 
 @dataclass
@@ -51,6 +52,13 @@ class AgitRecoveryReport:
     hash_ops: int = 0
     root_matched: bool = False
     repaired_levels: Dict[int, int] = field(default_factory=dict)
+    #: Flight-recorder phase records (analytic_ns partitions
+    #: :meth:`estimated_ns` exactly; wall_seconds is diagnostic).
+    phases: List[dict] = field(default_factory=list)
+
+    def breakdown_seconds(self) -> Dict[str, float]:
+        """Phase -> analytic seconds; sums to :meth:`estimated_seconds`."""
+        return breakdown_seconds(self.phases)
 
     def estimated_ns(self, step_ns: float = 100.0) -> float:
         """Recovery time under the paper's 100ns-per-step model.
@@ -278,11 +286,13 @@ class AgitRecovery:
     def run(self) -> AgitRecoveryReport:
         """Execute Algorithm 1; raises on an unrecoverable state."""
         report = AgitRecoveryReport()
+        recorder = FlightRecorder("agit", report.estimated_ns)
+        report.phases = recorder.phases
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit("recovery.begin", ns=0.0, engine="agit")
 
-        with span("recovery.agit.scan"):
+        with recorder.phase("scan"):
             tracked_counters = self._read_shadow_region(
                 self.layout.sct, report
             )
@@ -301,7 +311,7 @@ class AgitRecovery:
                 tracked_nodes=report.tracked_tree_nodes,
             )
 
-        with span("recovery.agit.repair_counters"):
+        with recorder.phase("repair_counters"):
             for counter_address in sorted(tracked_counters):
                 self._repair_counter_block(counter_address, report)
                 if tracer.enabled:
@@ -319,7 +329,7 @@ class AgitRecovery:
         all_nodes = set(tracked_nodes)
         for counter_address in tracked_counters:
             all_nodes.update(self.layout.ancestors_of_counter(counter_address))
-        with span("recovery.agit.rebuild_nodes"):
+        with recorder.phase("rebuild_nodes"):
             self._rebuild_nodes(all_nodes, report)
         if tracer.enabled:
             tracer.emit(
@@ -330,7 +340,7 @@ class AgitRecovery:
                 nodes=report.nodes_rebuilt,
             )
 
-        with span("recovery.agit.verify_root"):
+        with recorder.phase("verify_root"):
             rebuilt_root = self.engine.rebuild_root(
                 self._counted_reader(report)
             )

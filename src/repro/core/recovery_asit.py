@@ -21,8 +21,8 @@ valid entry, occasionally one parent — no dependence on memory size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.config import SystemConfig
 from repro.core.asit import AsitController
@@ -31,7 +31,8 @@ from repro.counters.sgx import SgxCounterBlock
 from repro.errors import MacMismatchError, UnrecoverableError
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
-from repro.telemetry.runtime import live_tracer, span
+from repro.telemetry.flightrec import FlightRecorder, breakdown_seconds
+from repro.telemetry.runtime import live_tracer
 
 
 @dataclass
@@ -46,6 +47,13 @@ class AsitRecoveryReport:
     memory_writes: int = 0
     hash_ops: int = 0
     shadow_root_matched: bool = False
+    #: Flight-recorder phase records (analytic_ns partitions
+    #: :meth:`estimated_ns` exactly; wall_seconds is diagnostic).
+    phases: List[dict] = field(default_factory=list)
+
+    def breakdown_seconds(self) -> Dict[str, float]:
+        """Phase -> analytic seconds; sums to :meth:`estimated_seconds`."""
+        return breakdown_seconds(self.phases)
 
     def estimated_ns(self, step_ns: float = 100.0) -> float:
         """Recovery time under the paper's 100ns-per-step model."""
@@ -216,10 +224,12 @@ class AsitRecovery:
     def run(self) -> AsitRecoveryReport:
         """Execute Algorithm 2; raises on an unrecoverable state."""
         report = AsitRecoveryReport()
+        recorder = FlightRecorder("asit", report.estimated_ns)
+        report.phases = recorder.phases
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit("recovery.begin", ns=0.0, engine="asit")
-        with span("recovery.asit.scan_shadow"):
+        with recorder.phase("scan_shadow"):
             self._verify_shadow_table(report)
         if tracer.enabled:
             tracer.emit(
@@ -229,7 +239,7 @@ class AsitRecovery:
                 step="scan_shadow",
                 blocks=report.st_blocks_scanned,
             )
-        with span("recovery.asit.splice"):
+        with recorder.phase("splice"):
             recovered = self._recover_nodes(report)
         if tracer.enabled:
             for address in sorted(recovered):
@@ -240,7 +250,7 @@ class AsitRecovery:
                     step="splice",
                     address=address,
                 )
-        with span("recovery.asit.verify"):
+        with recorder.phase("verify"):
             self._verify_recovered(recovered, report)
         if tracer.enabled:
             tracer.emit(
@@ -250,7 +260,7 @@ class AsitRecovery:
                 step="verify",
                 nodes=len(recovered),
             )
-        with span("recovery.asit.commit"):
+        with recorder.phase("commit"):
             self._commit(recovered, report)
         if tracer.enabled:
             tracer.emit(

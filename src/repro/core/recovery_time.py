@@ -19,6 +19,8 @@ apply that price to the step counts each scheme provably performs:
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.config import BLOCK_SIZE, PAGE_SIZE, TREE_ARITY
 
 #: Paper's per-step price: fetch + hash and/or decrypt (footnote 1).
@@ -44,6 +46,33 @@ def average_trials(stop_loss: int) -> float:
     return (stop_loss + 1) / 2.0
 
 
+def osiris_recovery_breakdown(
+    capacity_bytes: int,
+    stop_loss: int = 4,
+    step_ns: float = STEP_NS,
+    trial_ns: float = TRIAL_NS,
+) -> Dict[str, float]:
+    """Per-phase split of :func:`osiris_recovery_time_s`, in seconds.
+
+    Phases partition the total exactly: ``data_fetch`` is every data
+    line fetched once, ``counter_trials`` the expected trial decrypts,
+    and ``tree_rebuild`` the whole-tree rehash (leaves + internals).
+    """
+    data_blocks = capacity_bytes // BLOCK_SIZE
+    counter_blocks = capacity_bytes // PAGE_SIZE
+    return {
+        "data_fetch": data_blocks * step_ns / 1e9,
+        "counter_trials": (
+            data_blocks * average_trials(stop_loss) * trial_ns / 1e9
+        ),
+        "tree_rebuild": (
+            (_tree_node_count(counter_blocks) + counter_blocks)
+            * step_ns
+            / 1e9
+        ),
+    }
+
+
 def osiris_recovery_time_s(
     capacity_bytes: int,
     stop_loss: int = 4,
@@ -58,11 +87,11 @@ def osiris_recovery_time_s(
     At 8TB with stop-loss 4 this yields ≈7.7 hours, matching the
     paper's 7.8-hour average.
     """
-    data_blocks = capacity_bytes // BLOCK_SIZE
-    counter_blocks = capacity_bytes // PAGE_SIZE
-    counter_ns = data_blocks * (step_ns + average_trials(stop_loss) * trial_ns)
-    tree_ns = (_tree_node_count(counter_blocks) + counter_blocks) * step_ns
-    return (counter_ns + tree_ns) / 1e9
+    return sum(
+        osiris_recovery_breakdown(
+            capacity_bytes, stop_loss, step_ns, trial_ns
+        ).values()
+    )
 
 
 def agit_recovery_time_s(
@@ -84,6 +113,34 @@ def agit_recovery_time_s(
     ``max(step, trials*trial)`` — this is what makes the model land on
     the paper's 0.03s @ 256KB and ≤0.48s @ 4MB points.
     """
+    return sum(
+        agit_recovery_breakdown(
+            counter_cache_bytes,
+            merkle_cache_bytes,
+            stop_loss=stop_loss,
+            lines_per_counter_block=lines_per_counter_block,
+            step_ns=step_ns,
+            trial_ns=trial_ns,
+        ).values()
+    )
+
+
+def agit_recovery_breakdown(
+    counter_cache_bytes: int,
+    merkle_cache_bytes: int,
+    stop_loss: int = 4,
+    lines_per_counter_block: int = PAGE_SIZE // BLOCK_SIZE,
+    step_ns: float = STEP_NS,
+    trial_ns: float = TRIAL_NS,
+) -> Dict[str, float]:
+    """Per-phase split of :func:`agit_recovery_time_s`, in seconds.
+
+    ``shadow_scan`` reads the SCT+SMT shadow regions (8 addresses per
+    block), ``counter_repair`` re-derives every tracked counter block
+    (fetch + pipelined per-counter data fetch/trials), and
+    ``node_rebuild`` recomputes each tracked tree node from its
+    children.  The phases partition the analytic total exactly.
+    """
     sct_entries = counter_cache_bytes // BLOCK_SIZE
     smt_entries = merkle_cache_bytes // BLOCK_SIZE
     per_counter_ns = max(step_ns, average_trials(stop_loss) * trial_ns)
@@ -94,11 +151,11 @@ def agit_recovery_time_s(
         / 8.0
         * step_ns  # 8 addresses per shadow block
     )
-    return (
-        sct_entries * per_counter_block_ns
-        + smt_entries * per_node_ns
-        + shadow_scan_ns
-    ) / 1e9
+    return {
+        "shadow_scan": shadow_scan_ns / 1e9,
+        "counter_repair": sct_entries * per_counter_block_ns / 1e9,
+        "node_rebuild": smt_entries * per_node_ns / 1e9,
+    }
 
 
 def asit_recovery_time_s(
@@ -114,9 +171,31 @@ def asit_recovery_time_s(
     extra parent fetch for MAC verification (§6.3.1).  MAC generation
     itself is "negligible compared to the read latency".
     """
+    return sum(
+        asit_recovery_breakdown(
+            metadata_cache_bytes, parent_miss_fraction, step_ns
+        ).values()
+    )
+
+
+def asit_recovery_breakdown(
+    metadata_cache_bytes: int,
+    parent_miss_fraction: float = 0.5,
+    step_ns: float = STEP_NS,
+) -> Dict[str, float]:
+    """Per-phase split of :func:`asit_recovery_time_s`, in seconds.
+
+    ``st_scan`` reads every Shadow Table block, ``splice_read``
+    fetches each valid entry's stale node, and ``parent_fetch`` is the
+    extra parent read for the MAC check on entries whose parent is not
+    itself recovered.  The phases partition the analytic total exactly.
+    """
     entries = metadata_cache_bytes // BLOCK_SIZE
-    per_entry_ns = step_ns + step_ns + parent_miss_fraction * step_ns
-    return entries * per_entry_ns / 1e9
+    return {
+        "st_scan": entries * step_ns / 1e9,
+        "splice_read": entries * step_ns / 1e9,
+        "parent_fetch": entries * parent_miss_fraction * step_ns / 1e9,
+    }
 
 
 def anubis_recovery_time_s(
@@ -130,12 +209,31 @@ def anubis_recovery_time_s(
     For ASIT the combined metadata cache is the sum of the two sizes,
     matching the figure's x-axis convention (both caches grow together).
     """
+    return sum(
+        anubis_recovery_breakdown(
+            counter_cache_bytes,
+            merkle_cache_bytes,
+            scheme=scheme,
+            stop_loss=stop_loss,
+        ).values()
+    )
+
+
+def anubis_recovery_breakdown(
+    counter_cache_bytes: int,
+    merkle_cache_bytes: int,
+    scheme: str = "agit",
+    stop_loss: int = 4,
+) -> Dict[str, float]:
+    """Per-phase breakdown for either Anubis scheme (Fig. 12 axes)."""
     if scheme == "agit":
-        return agit_recovery_time_s(
+        return agit_recovery_breakdown(
             counter_cache_bytes, merkle_cache_bytes, stop_loss=stop_loss
         )
     if scheme == "asit":
-        return asit_recovery_time_s(counter_cache_bytes + merkle_cache_bytes)
+        return asit_recovery_breakdown(
+            counter_cache_bytes + merkle_cache_bytes
+        )
     raise ValueError(f"unknown Anubis scheme {scheme!r}")
 
 

@@ -12,7 +12,10 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.config import GIB, TIB
-from repro.core.recovery_time import osiris_recovery_time_s
+from repro.core.recovery_time import (
+    osiris_recovery_breakdown,
+    osiris_recovery_time_s,
+)
 from repro.experiments.reporting import format_markdown_table, format_seconds
 
 #: Capacities on the paper's x-axis.
@@ -33,6 +36,9 @@ class Fig05Result:
 
     capacities: List[int]
     recovery_seconds: Dict[int, float]
+    #: Per-phase split of each capacity's recovery time (the phase
+    #: seconds sum to ``recovery_seconds`` exactly).
+    breakdowns: Dict[int, Dict[str, float]]
 
     @property
     def hours_at_8tb(self) -> float:
@@ -49,7 +55,13 @@ def run(
         capacity: osiris_recovery_time_s(capacity, stop_loss)
         for capacity in points
     }
-    return Fig05Result(capacities=points, recovery_seconds=seconds)
+    breakdowns = {
+        capacity: osiris_recovery_breakdown(capacity, stop_loss)
+        for capacity in points
+    }
+    return Fig05Result(
+        capacities=points, recovery_seconds=seconds, breakdowns=breakdowns
+    )
 
 
 def format_table(result: Fig05Result) -> str:

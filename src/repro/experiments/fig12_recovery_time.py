@@ -23,7 +23,12 @@ from repro.config import KIB, SchemeKind, TreeKind, default_table1_config
 from repro.controller.factory import build_controller
 from repro.core.recovery_agit import AgitRecovery
 from repro.core.recovery_asit import AsitRecovery
-from repro.core.recovery_time import agit_recovery_time_s, asit_recovery_time_s
+from repro.core.recovery_time import (
+    agit_recovery_breakdown,
+    agit_recovery_time_s,
+    asit_recovery_breakdown,
+    asit_recovery_time_s,
+)
 from repro.crypto.keys import ProcessorKeys
 from repro.experiments.reporting import format_markdown_table, format_seconds
 from repro.recovery.crash import crash, reincarnate
@@ -51,6 +56,17 @@ class Fig12Result:
     asit_analytic: Dict[int, float] = field(default_factory=dict)
     agit_functional: Dict[int, float] = field(default_factory=dict)
     asit_functional: Dict[int, float] = field(default_factory=dict)
+    #: Per-phase splits of the analytic series (each breakdown's phase
+    #: seconds sum to the corresponding ``*_analytic`` entry exactly).
+    agit_breakdown: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    asit_breakdown: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Flight-recorder phase splits of the functional runs (seconds).
+    agit_functional_phases: Dict[int, Dict[str, float]] = field(
+        default_factory=dict
+    )
+    asit_functional_phases: Dict[int, Dict[str, float]] = field(
+        default_factory=dict
+    )
 
 
 def run(
@@ -65,16 +81,22 @@ def run(
     for size in sizes:
         result.agit_analytic[size] = agit_recovery_time_s(size, size)
         result.asit_analytic[size] = asit_recovery_time_s(2 * size)
+        result.agit_breakdown[size] = agit_recovery_breakdown(size, size)
+        result.asit_breakdown[size] = asit_recovery_breakdown(2 * size)
     if functional:
         keys = ProcessorKeys(seed)
         trace = generate_trace(profile("libquantum"), trace_length, seed=seed)
         for size in sizes:
-            result.agit_functional[size] = _functional_agit(trace, size, keys)
-            result.asit_functional[size] = _functional_asit(trace, size, keys)
+            seconds, phases = _functional_agit(trace, size, keys)
+            result.agit_functional[size] = seconds
+            result.agit_functional_phases[size] = phases
+            seconds, phases = _functional_asit(trace, size, keys)
+            result.asit_functional[size] = seconds
+            result.asit_functional_phases[size] = phases
     return result
 
 
-def _functional_agit(trace, cache_size: int, keys: ProcessorKeys) -> float:
+def _functional_agit(trace, cache_size: int, keys: ProcessorKeys):
     config = default_table1_config(
         SchemeKind.AGIT_PLUS, TreeKind.BONSAI
     ).with_cache_size(cache_size)
@@ -83,10 +105,10 @@ def _functional_agit(trace, cache_size: int, keys: ProcessorKeys) -> float:
     crash(controller)
     reborn = reincarnate(controller)
     report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
-    return report.estimated_seconds()
+    return report.estimated_seconds(), report.breakdown_seconds()
 
 
-def _functional_asit(trace, cache_size: int, keys: ProcessorKeys) -> float:
+def _functional_asit(trace, cache_size: int, keys: ProcessorKeys):
     config = default_table1_config(
         SchemeKind.ASIT, TreeKind.SGX
     ).with_cache_size(cache_size)
@@ -95,7 +117,7 @@ def _functional_asit(trace, cache_size: int, keys: ProcessorKeys) -> float:
     crash(controller)
     reborn = reincarnate(controller)
     report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
-    return report.estimated_seconds()
+    return report.estimated_seconds(), report.breakdown_seconds()
 
 
 def format_table(result: Fig12Result) -> str:

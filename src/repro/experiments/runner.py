@@ -75,6 +75,10 @@ def _run_fig05(full: bool, jobs: int = 1, out=None) -> dict:
             str(capacity): result.recovery_seconds[capacity]
             for capacity in result.capacities
         },
+        "recovery_breakdown": {
+            str(capacity): dict(result.breakdowns[capacity])
+            for capacity in result.capacities
+        },
         "hours_at_8tb": result.hours_at_8tb,
     }
 
@@ -146,6 +150,14 @@ def _run_fig12(full: bool, jobs: int = 1, out=None) -> dict:
             str(size): result.asit_analytic[size]
             for size in result.cache_sizes
         },
+        "agit_breakdown": {
+            str(size): dict(result.agit_breakdown[size])
+            for size in result.cache_sizes
+        },
+        "asit_breakdown": {
+            str(size): dict(result.asit_breakdown[size])
+            for size in result.cache_sizes
+        },
         "agit_functional": {
             str(size): value
             for size, value in result.agit_functional.items()
@@ -153,6 +165,14 @@ def _run_fig12(full: bool, jobs: int = 1, out=None) -> dict:
         "asit_functional": {
             str(size): value
             for size, value in result.asit_functional.items()
+        },
+        "agit_functional_phases": {
+            str(size): dict(phases)
+            for size, phases in result.agit_functional_phases.items()
+        },
+        "asit_functional_phases": {
+            str(size): dict(phases)
+            for size, phases in result.asit_functional_phases.items()
         },
     }
 
@@ -318,6 +338,22 @@ def main(argv=None) -> int:
         "integrity events) — larger traces, higher overhead",
     )
     parser.add_argument(
+        "--samples-out",
+        metavar="PATH",
+        default=None,
+        help="sample the metric registry every --sample-interval "
+        "requests and write the merged NDJSON series here "
+        "(byte-identical for any --jobs count)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        metavar="N",
+        default=None,
+        help="requests between metric samples (default: 1024 when "
+        "--samples-out is given)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="render a live progress line on stderr as grid cells finish",
@@ -379,8 +415,15 @@ def main(argv=None) -> int:
 
     run_fingerprint = fingerprint("experiments", args.full)
     spec: Optional[TelemetrySpec] = None
-    if args.trace_out or args.metrics_out:
-        spec = TelemetrySpec(events=True, detail=args.trace_detail)
+    sample_interval = args.sample_interval
+    if args.samples_out and sample_interval is None:
+        sample_interval = 1024
+    if args.trace_out or args.metrics_out or args.samples_out:
+        spec = TelemetrySpec(
+            events=bool(args.trace_out or args.metrics_out),
+            detail=args.trace_detail,
+            sample_interval=sample_interval or 0,
+        )
     collector = configure_telemetry(spec, progress=args.progress)
     started = time.perf_counter()
 
@@ -439,6 +482,10 @@ def main(argv=None) -> int:
             )
             outputs["metrics"] = args.metrics_out
             print(f"metrics snapshot written to {args.metrics_out}")
+        if args.samples_out:
+            lines = collector.write_samples(args.samples_out)
+            outputs["samples"] = args.samples_out
+            print(f"{lines:,} metric samples written to {args.samples_out}")
     if cache is not None:
         stats = cache.stats()
         print(
@@ -463,6 +510,7 @@ def main(argv=None) -> int:
                     "full": args.full,
                     "jobs": jobs,
                     "trace_detail": args.trace_detail,
+                    "sample_interval": sample_interval or 0,
                 },
                 collector=collector,
                 outputs=outputs,
@@ -505,7 +553,8 @@ def _manifest_path(args: argparse.Namespace) -> Optional[str]:
     """
     if args.resume:
         return os.path.join(args.resume, "manifest.json")
-    for base in (args.metrics_out, args.trace_out, args.json):
+    for base in (args.metrics_out, args.trace_out, args.samples_out,
+                 args.json):
         if base:
             return base + ".manifest.json"
     return None

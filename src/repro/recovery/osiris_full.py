@@ -18,8 +18,8 @@ capacity, which is the Fig. 5 number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
 from repro.config import SystemConfig
 from repro.controller.bonsai import BonsaiController
@@ -28,6 +28,8 @@ from repro.core.recovery_time import osiris_recovery_time_s
 from repro.errors import RootMismatchError
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NvmDevice
+from repro.telemetry.flightrec import FlightRecorder, breakdown_seconds
+from repro.telemetry.runtime import live_tracer
 
 
 @dataclass
@@ -44,10 +46,17 @@ class OsirisRecoveryReport:
     #: The O(n) cost for a dense memory of the configured capacity,
     #: priced with the Fig. 5 model — hours at terabyte scale.
     full_capacity_seconds: float = 0.0
+    #: Flight-recorder phase records (analytic_ns partitions
+    #: :meth:`estimated_seconds` exactly; wall_seconds is diagnostic).
+    phases: List[dict] = field(default_factory=list)
 
     def estimated_seconds(self, step_ns: float = 100.0) -> float:
         """Cost of the work actually performed on the sparse image."""
         return (self.memory_reads + self.osiris_trials) * step_ns / 1e9
+
+    def breakdown_seconds(self) -> Dict[str, float]:
+        """Phase -> analytic seconds; sums to :meth:`estimated_seconds`."""
+        return breakdown_seconds(self.phases)
 
 
 class OsirisFullRecovery:
@@ -83,21 +92,39 @@ class OsirisFullRecovery:
         """Repair everything; raises :class:`RootMismatchError` on failure."""
         inner = AgitRecoveryReport()
         report = OsirisRecoveryReport()
-
-        counter_blocks = self._all_touched_counter_blocks()
-        report.counter_blocks_scanned = len(counter_blocks)
-        for counter_address in sorted(counter_blocks):
-            self._agit._repair_counter_block(counter_address, inner)
-
-        nodes: Set[int] = set()
-        for counter_address in counter_blocks:
-            nodes.update(self.layout.ancestors_of_counter(counter_address))
-        self._agit._rebuild_nodes(nodes, inner)
-
-        rebuilt_root = self.controller.engine.rebuild_root(
-            self._agit._counted_reader(inner)
+        # Match the report's own cost model: the sparse-image estimate
+        # prices fetches and trial decrypts only (the dense-capacity
+        # Fig. 5 number carries the tree-hash cost instead).
+        recorder = FlightRecorder(
+            "osiris",
+            lambda: (inner.memory_reads + inner.osiris_trials) * 100.0,
         )
-        report.root_matched = rebuilt_root == self.controller.engine.root_node
+        report.phases = recorder.phases
+        tracer = live_tracer()
+        if tracer.enabled:
+            tracer.emit("recovery.begin", ns=0.0, engine="osiris")
+
+        with recorder.phase("scan_counters"):
+            counter_blocks = self._all_touched_counter_blocks()
+            report.counter_blocks_scanned = len(counter_blocks)
+            for counter_address in sorted(counter_blocks):
+                self._agit._repair_counter_block(counter_address, inner)
+
+        with recorder.phase("rebuild_tree"):
+            nodes: Set[int] = set()
+            for counter_address in counter_blocks:
+                nodes.update(
+                    self.layout.ancestors_of_counter(counter_address)
+                )
+            self._agit._rebuild_nodes(nodes, inner)
+
+        with recorder.phase("verify_root"):
+            rebuilt_root = self.controller.engine.rebuild_root(
+                self._agit._counted_reader(inner)
+            )
+            report.root_matched = (
+                rebuilt_root == self.controller.engine.root_node
+            )
 
         report.counters_repaired = inner.counters_repaired
         report.nodes_rebuilt = inner.nodes_rebuilt
@@ -112,5 +139,14 @@ class OsirisFullRecovery:
             raise RootMismatchError(
                 "Osiris full recovery failed: reconstructed root does not "
                 "match the on-chip root"
+            )
+        if tracer.enabled:
+            tracer.emit(
+                "recovery.end",
+                ns=recorder.total_ns(),
+                engine="osiris",
+                ok=True,
+                counters_repaired=report.counters_repaired,
+                nodes_rebuilt=report.nodes_rebuilt,
             )
         return report

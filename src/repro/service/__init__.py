@@ -15,6 +15,8 @@ Public surface:
   background thread (tests and embedding).
 - :class:`~repro.service.client.ServiceClient` — stdlib HTTP client
   with typed admission errors.
+- :class:`~repro.service.telemetry.JobTelemetryFeed` — live per-job
+  introspection feed behind ``GET /v1/jobs/<id>/telemetry``.
 - :func:`~repro.service.jobs.validate_spec` /
   :func:`~repro.service.jobs.job_id` — admission-side validation and
   idempotent submission keys.
@@ -36,6 +38,7 @@ from repro.service.jobs import (
     validate_spec,
 )
 from repro.service.server import JobServer, ServerThread, ServiceConfig
+from repro.service.telemetry import JobTelemetryFeed
 
 __all__ = [
     "Backpressure",
@@ -46,6 +49,7 @@ __all__ = [
     "JobServer",
     "JobSpec",
     "JobState",
+    "JobTelemetryFeed",
     "QuotaBackpressure",
     "ServerThread",
     "ServiceClient",

@@ -184,9 +184,22 @@ class ServiceClient:
     ) -> Iterator[Dict[str, Any]]:
         """Stream the job's NDJSON events until it reaches a terminal
         state (the server closes the stream)."""
+        return self._stream(f"/v1/jobs/{jid}/events", timeout)
+
+    def telemetry(
+        self, jid: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the job's live telemetry feed — per-trial outcomes
+        and sampled progress snapshots — until its running attempt
+        finishes (the server closes the stream)."""
+        return self._stream(f"/v1/jobs/{jid}/telemetry", timeout)
+
+    def _stream(
+        self, path: str, timeout: Optional[float]
+    ) -> Iterator[Dict[str, Any]]:
         conn = self._connect(timeout=timeout or 3600.0)
         try:
-            conn.request("GET", f"/v1/jobs/{jid}/events")
+            conn.request("GET", path)
             response = conn.getresponse()
             if response.status != 200:
                 raw = response.read()
@@ -199,6 +212,21 @@ class ServiceClient:
                 line = line.strip()
                 if line:
                     yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def status_page(self) -> str:
+        """The ``/v1/status`` HTML dashboard, as a string."""
+        conn = self._connect()
+        try:
+            conn.request("GET", "/v1/status")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            if response.status != 200:
+                raise ServiceError(
+                    f"HTTP {response.status} from /v1/status"
+                )
+            return body
         finally:
             conn.close()
 

@@ -64,12 +64,18 @@ class _NeverSet:
         return False
 
 
+#: Every Nth completed trial also emits a ``metric.sample`` progress
+#: snapshot into the live feed (the final trial always does).
+FEED_SAMPLE_EVERY = 16
+
+
 def execute_job(
     job: Job,
     job_dir: str,
     executor: ParallelSweepExecutor,
     progress: Optional[ProgressFn] = None,
     cancelled=None,
+    feed=None,
 ) -> JobOutcome:
     """Run one job to completion inside ``job_dir``.
 
@@ -78,6 +84,11 @@ def execute_job(
     :class:`JobCancelled` when the ``cancelled`` event is observed set,
     and lets any worker exception propagate (the server records it as
     FAILED with the message).
+
+    ``feed`` is an optional
+    :class:`~repro.service.telemetry.JobTelemetryFeed`: trial outcomes
+    and periodic progress samples are emitted into it for live
+    streaming.  The feed never influences execution or artifacts.
     """
     os.makedirs(job_dir, exist_ok=True)
     if progress is None:
@@ -86,14 +97,25 @@ def execute_job(
         cancelled = _NeverSet()
     kind = job.spec.kind
     if kind == "probe":
-        return _execute_probe(job, job_dir, progress, cancelled)
+        return _execute_probe(job, job_dir, progress, cancelled, feed)
     if kind == "sweep":
-        return _execute_sweep(job, job_dir, executor, progress, cancelled)
+        return _execute_sweep(
+            job, job_dir, executor, progress, cancelled, feed
+        )
     if kind in ("faults", "attack"):
         return _execute_campaign(
-            job, job_dir, executor, progress, cancelled
+            job, job_dir, executor, progress, cancelled, feed
         )
     raise ValueError(f"unknown job kind {kind!r}")
+
+
+def _feed_sample(feed, done: int, total: int) -> None:
+    """Progress snapshot for the live feed (throttled by the caller)."""
+    feed.emit(
+        "metric.sample",
+        tick=done,
+        values={"done": float(done), "total": float(total)},
+    )
 
 
 def _system_config(params: Dict[str, Any]):
@@ -120,6 +142,7 @@ def _execute_campaign(
     executor: ParallelSweepExecutor,
     progress: ProgressFn,
     cancelled,
+    feed=None,
 ) -> JobOutcome:
     """Fault or attack campaign — the CLI code path with a journal."""
     from repro.faults.campaign import _build_plan
@@ -177,11 +200,29 @@ def _execute_campaign(
     progress(0, total)
     completed = [0]
 
-    def on_trial(_trial) -> None:
+    def on_trial(trial) -> None:
         if cancelled.is_set():
             raise JobCancelled(job.id)
         completed[0] += 1
         progress(completed[0], total)
+        if feed is not None:
+            # Fault trials carry .fault, attack trials .attack; both
+            # land in the schema's ``model`` slot.
+            feed.emit(
+                "trial.outcome",
+                trial=trial.index,
+                model=str(
+                    getattr(trial, "fault", None)
+                    or getattr(trial, "attack", "?")
+                ),
+                outcome=trial.outcome.value,
+                crash_point=trial.crash_point,
+            )
+            if (
+                completed[0] % FEED_SAMPLE_EVERY == 0
+                or completed[0] == total
+            ):
+                _feed_sample(feed, completed[0], total)
 
     result = runner(
         campaign,
@@ -219,6 +260,7 @@ def _execute_sweep(
     executor: ParallelSweepExecutor,
     progress: ProgressFn,
     cancelled,
+    feed=None,
 ) -> JobOutcome:
     """Paper-figure sweep — the experiments runner's resume protocol.
 
@@ -257,6 +299,8 @@ def _execute_sweep(
                     )
                     journal.record(key, collected[name])
                 progress(done, total)
+                if feed is not None:
+                    _feed_sample(feed, done, total)
     finally:
         journal.close()
     artifact = os.path.join(job_dir, "results.json")
@@ -268,7 +312,7 @@ def _execute_sweep(
 
 
 def _execute_probe(
-    job: Job, job_dir: str, progress: ProgressFn, cancelled
+    job: Job, job_dir: str, progress: ProgressFn, cancelled, feed=None
 ) -> JobOutcome:
     """Tiny deterministic job for load tests and smoke checks."""
     params = job.spec.params
@@ -280,6 +324,8 @@ def _execute_probe(
             raise JobCancelled(job.id)
         time.sleep(pause)
         progress(done, steps)
+        if feed is not None:
+            _feed_sample(feed, done, steps)
     if params["fail"]:
         raise RuntimeError("probe job was asked to fail")
     write_artifact(

@@ -35,6 +35,7 @@ thing a worker thread does to the server is schedule
 from __future__ import annotations
 
 import asyncio
+import html
 import json
 import os
 import threading
@@ -55,6 +56,7 @@ from repro.service.jobs import (
     job_id,
     validate_spec,
 )
+from repro.service.telemetry import JobTelemetryFeed
 from repro.telemetry.metrics import Gauge
 
 #: Journal work-fingerprint — constant on purpose: the server journal
@@ -145,6 +147,9 @@ class JobServer:
         self._running: Dict[str, threading.Event] = {}
         self._tasks: Set[asyncio.Task] = set()
         self._events: Dict[str, List[dict]] = {}
+        #: Live telemetry feeds, one per job attempt; kept after the
+        #: job finishes so late watchers still get the full replay.
+        self._feeds: Dict[str, JobTelemetryFeed] = {}
         self._service_events: Deque[dict] = deque(maxlen=256)
         self._seq = 0
         self._event_seq = 0
@@ -509,6 +514,10 @@ class JobServer:
 
         executor = self._job_executor(job)
         heartbeat = asyncio.create_task(self._heartbeat(job))
+        # A fresh feed per attempt: a re-adopted job's watchers see the
+        # resumed attempt's events, not a stale buffer.
+        feed = JobTelemetryFeed(job.id)
+        self._feeds[job.id] = feed
         state = JobState.SUCCEEDED
         error: Optional[str] = None
         outcome = None
@@ -520,6 +529,7 @@ class JobServer:
                 executor,
                 progress,
                 cancel,
+                feed,
             )
         except JobCancelled:
             state = JobState.CANCELLED
@@ -528,6 +538,7 @@ class JobServer:
             error = f"{type(exc).__name__}: {exc}"
         finally:
             heartbeat.cancel()
+            feed.close()
         if outcome is not None:
             job.summary = outcome.summary
             job.artifact = outcome.artifact
@@ -858,6 +869,9 @@ class JobServer:
                 },
             )
             return
+        if path == "/v1/status" and method == "GET":
+            await self._respond_html(writer, 200, self._status_html())
+            return
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
             if rest.endswith("/events") and method == "GET":
@@ -869,6 +883,16 @@ class JobServer:
                     )
                     return
                 await self._stream_events(writer, job)
+                return
+            if rest.endswith("/telemetry") and method == "GET":
+                jid = rest[: -len("/telemetry")]
+                job = self.jobs.get(jid)
+                if job is None:
+                    await self._respond(
+                        writer, 404, {"error": f"unknown job {jid!r}"}
+                    )
+                    return
+                await self._stream_telemetry(writer, job)
                 return
             if rest.endswith("/cancel") and method == "POST":
                 jid = rest[: -len("/cancel")]
@@ -928,6 +952,79 @@ class JobServer:
         )
         await writer.drain()
 
+    async def _respond_html(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        page: str,
+    ) -> None:
+        body = page.encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: text/html; charset=utf-8",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+    def _status_html(self) -> str:
+        """The ``/v1/status`` page: zero-dependency, auto-refreshing.
+
+        Plain HTML with an inline stylesheet and a ``meta refresh`` —
+        no scripts, no external assets — so it renders in anything
+        that speaks HTTP, including ``curl | w3m``.
+        """
+        block = self.service_block()
+        rows = []
+        for job in sorted(
+            self.jobs.values(), key=lambda j: j.submitted_seq
+        ):
+            progress = f"{job.done}/{job.total}" if job.total else "&#8212;"
+            error = html.escape(job.error or "")
+            rows.append(
+                "<tr>"
+                f"<td><code>{html.escape(job.id)}</code></td>"
+                f"<td>{html.escape(job.spec.tenant)}</td>"
+                f"<td>{html.escape(job.spec.kind)}</td>"
+                f"<td class='s-{html.escape(job.state.value)}'>"
+                f"{html.escape(job.state.value)}</td>"
+                f"<td>{progress}</td>"
+                f"<td>{error}</td>"
+                "</tr>"
+            )
+        counters = block["counters"]
+        return (
+            "<!DOCTYPE html><html><head>"
+            "<meta charset='utf-8'>"
+            "<meta http-equiv='refresh' content='2'>"
+            "<title>repro service</title>"
+            "<style>"
+            "body{font-family:monospace;margin:2em;background:#111;"
+            "color:#ddd}"
+            "table{border-collapse:collapse;margin-top:1em}"
+            "td,th{border:1px solid #444;padding:.3em .8em;"
+            "text-align:left}"
+            ".s-RUNNING{color:#6cf}.s-SUCCEEDED{color:#6f6}"
+            ".s-FAILED{color:#f66}.s-CANCELLED{color:#fc6}"
+            ".s-QUEUED{color:#aaa}"
+            "</style></head><body>"
+            f"<h1>repro service &#8212; generation "
+            f"{block['generation']}</h1>"
+            f"<p>level {block['level']} &#183; queue "
+            f"{int(self._gauge_queue.value)} &#183; inflight "
+            f"{int(self._gauge_inflight.value)} &#183; submitted "
+            f"{counters['submitted']} &#183; succeeded "
+            f"{counters['succeeded']} &#183; failed "
+            f"{counters['failed']}</p>"
+            "<table><tr><th>job</th><th>tenant</th><th>kind</th>"
+            "<th>state</th><th>progress</th><th>error</th></tr>"
+            + "".join(rows)
+            + "</table></body></html>"
+        )
+
     async def _stream_events(
         self, writer: asyncio.StreamWriter, job: Job
     ) -> None:
@@ -955,6 +1052,44 @@ class JobServer:
             await writer.drain()
             if job.terminal and sent >= len(
                 self._events.get(job.id, [])
+            ):
+                break
+            await asyncio.sleep(0.05)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _stream_telemetry(
+        self, writer: asyncio.StreamWriter, job: Job
+    ) -> None:
+        """Chunked NDJSON over the job's live telemetry feed.
+
+        Replays the feed from the start, then follows until the feed
+        closes (the job's attempt finished).  A job that has not
+        started yet streams nothing until its feed appears.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        sent = 0
+        while True:
+            feed = self._feeds.get(job.id)
+            if feed is not None:
+                for event in feed.snapshot(sent):
+                    line = (
+                        json.dumps(event, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+                    writer.write(
+                        f"{len(line):x}\r\n".encode("latin-1")
+                        + line
+                        + b"\r\n"
+                    )
+                    sent += 1
+            await writer.drain()
+            if job.terminal and (
+                feed is None or (feed.closed and sent >= len(feed))
             ):
                 break
             await asyncio.sleep(0.05)

@@ -1,0 +1,87 @@
+"""Live per-job telemetry feeds for the campaign service.
+
+A :class:`JobTelemetryFeed` is the bridge between a job's worker
+thread and the server's streaming ``/v1/jobs/<id>/telemetry`` route:
+the executor emits trial outcomes and sampled progress snapshots into
+the feed as they happen, and the event loop reads consistent
+snapshots out of it without blocking the worker.
+
+These events are *introspection*, not results.  They carry wall-clock
+timestamps and exist only in server memory — nothing a feed records
+ever reaches a job artifact, which is what keeps service-run artifacts
+byte-identical to direct CLI runs (the rule
+:mod:`repro.service.execution` is built around).  The event shapes
+reuse :data:`repro.telemetry.events.EVENT_SCHEMA` kinds
+(``trial.outcome``, ``metric.sample``) so one validator covers both
+the deterministic trace files and the live stream.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List
+
+#: Cap on retained feed events per job.  A campaign emits one event
+#: per trial plus periodic samples; past the cap the feed counts drops
+#: instead of growing without bound (same policy as the tracer).
+MAX_FEED_EVENTS = 4096
+
+
+class JobTelemetryFeed:
+    """Thread-safe, bounded, append-only event feed for one job.
+
+    Writers (the worker thread) call :meth:`emit`; readers (the event
+    loop's streaming route) call :meth:`snapshot` with the index of
+    the first event they have not yet sent.  Closing the feed tells
+    streamers no further events will arrive.
+    """
+
+    __slots__ = ("job_id", "dropped", "closed", "_limit", "_lock",
+                 "_events", "_seq")
+
+    def __init__(self, job_id: str, limit: int = MAX_FEED_EVENTS) -> None:
+        self.job_id = job_id
+        self.dropped = 0
+        self.closed = False
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._events: List[dict] = []
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        """Append one event (wall-clock ``ns``; counts when full)."""
+        with self._lock:
+            if len(self._events) >= self._limit:
+                self.dropped += 1
+                return
+            event = {
+                "kind": kind,
+                "ns": time.time_ns(),
+                "seq": self._seq,
+                "job": self.job_id,
+            }
+            event.update(fields)
+            self._seq += 1
+            self._events.append(event)
+
+    def snapshot(self, start: int = 0) -> List[dict]:
+        """Events from index ``start`` on, as a consistent copy."""
+        with self._lock:
+            return self._events[start:]
+
+    def close(self) -> None:
+        """Mark the feed complete (the job reached a terminal state)."""
+        with self._lock:
+            self.closed = True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"JobTelemetryFeed({self.job_id}, {len(self)} events, "
+            f"{state})"
+        )

@@ -11,7 +11,11 @@ Three modules:
 * :mod:`repro.telemetry.runtime` — sessions, the picklable
   :class:`TelemetrySpec` that rides into worker processes, ``span()``
   phase timing, and the parent-side :class:`RunCollector` that merges
-  per-cell streams deterministically.
+  per-cell streams deterministically;
+* :mod:`repro.telemetry.flightrec` — the recovery flight recorder:
+  per-phase analytic + wall-clock profiling of recovery engine runs;
+* :mod:`repro.telemetry.sampling` — the deterministic op-tick metric-
+  series sampler feeding ``--samples-out`` NDJSON.
 
 See ``docs/observability.md`` for the metric naming scheme, the event
 schema table, and the Chrome-trace workflow.
@@ -27,6 +31,7 @@ from repro.telemetry.events import (
     validate_events,
     write_jsonl,
 )
+from repro.telemetry.flightrec import FlightRecorder, breakdown_seconds
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -39,6 +44,7 @@ from repro.telemetry.runtime import (
     RunCollector,
     TelemetrySession,
     TelemetrySpec,
+    active_sampler,
     active_spec,
     build_manifest,
     configure_telemetry,
@@ -47,10 +53,12 @@ from repro.telemetry.runtime import (
     git_describe,
     live_tracer,
     run_collector,
+    sampling_active,
     session,
     span,
     write_manifest,
 )
+from repro.telemetry.sampling import MetricSampler
 
 __all__ = [
     "DEFAULT_BUFFER_LIMIT",
@@ -61,6 +69,9 @@ __all__ = [
     "read_jsonl",
     "validate_events",
     "write_jsonl",
+    "FlightRecorder",
+    "breakdown_seconds",
+    "MetricSampler",
     "Counter",
     "Gauge",
     "Histogram",
@@ -70,6 +81,7 @@ __all__ = [
     "RunCollector",
     "TelemetrySession",
     "TelemetrySpec",
+    "active_sampler",
     "active_spec",
     "build_manifest",
     "configure_telemetry",
@@ -78,6 +90,7 @@ __all__ = [
     "git_describe",
     "live_tracer",
     "run_collector",
+    "sampling_active",
     "session",
     "span",
     "write_manifest",

@@ -88,9 +88,21 @@ EVENT_SCHEMA: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("engine", "step"),
         "one unit of recovery work (repair/rebuild/splice/verify/commit)",
     ),
+    "recovery.phase": (
+        ("engine", "phase", "dur_ns"),
+        "one recovery phase completed (flight recorder span)",
+    ),
     "recovery.end": (
         ("engine", "ok"),
         "recovery finished (ok=False never happens: failures raise)",
+    ),
+    "batch.fallback": (
+        ("reason", "start", "stop"),
+        "batched replay dropped to the scalar path for a request window",
+    ),
+    "metric.sample": (
+        ("tick", "values"),
+        "sampled metric-series snapshot (op-tick MetricsRegistry read)",
     ),
     "integrity.check": (
         ("tree", "ok"),
@@ -145,13 +157,15 @@ class EventTracer:
     """
 
     __slots__ = ("enabled", "detail", "now", "dropped", "buffer_limit",
-                 "_seq", "_events")
+                 "sampled_out", "_seq", "_events", "_sample_rates",
+                 "_kind_counts")
 
     def __init__(
         self,
         enabled: bool = True,
         detail: bool = False,
         buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+        sample_rates: Optional[Dict[str, int]] = None,
     ) -> None:
         self.enabled = enabled
         #: Detail level: high-frequency events (cache hits, per-check
@@ -162,13 +176,32 @@ class EventTracer:
         self.now = 0.0
         self.dropped = 0
         self.buffer_limit = buffer_limit
+        #: Events skipped by per-kind head-sampling (not buffer drops).
+        self.sampled_out = 0
         self._seq = 0
         self._events: List[dict] = []
+        #: kind -> keep-every-Nth rate.  Sampling is a deterministic
+        #: per-kind counter (the first occurrence is always kept), so
+        #: equal runs sample identically regardless of wall-clock.
+        self._sample_rates: Dict[str, int] = {
+            kind: rate
+            for kind, rate in (sample_rates or {}).items()
+            if rate > 1
+        }
+        self._kind_counts: Dict[str, int] = {}
 
     def emit(self, kind: str, ns: Optional[float] = None, **fields) -> None:
         """Record one event (no-op when disabled; counts when full)."""
         if not self.enabled:
             return
+        if self._sample_rates:
+            rate = self._sample_rates.get(kind)
+            if rate is not None:
+                count = self._kind_counts.get(kind, 0)
+                self._kind_counts[kind] = count + 1
+                if count % rate:
+                    self.sampled_out += 1
+                    return
         if len(self._events) >= self.buffer_limit:
             self.dropped += 1
             return
@@ -266,41 +299,103 @@ def validate_events(events: Iterable[dict]) -> List[str]:
     return problems
 
 
+#: Chrome-trace process lanes: per-cell event streams live on pid 1,
+#: recovery engines get their own process so Perfetto renders phase
+#: bars separately from the instant-event noise.
+CHROME_PID_CELLS = 1
+CHROME_PID_RECOVERY = 2
+
+
 def chrome_trace(events: Iterable[dict]) -> dict:
     """Convert an event stream to Chrome ``trace_event`` JSON.
 
-    Every event becomes an instant ("i") on a thread per cell (or per
-    recovery engine), timestamped with the simulated clock in
-    microseconds; ``recovery.begin``/``recovery.end`` pairs become
-    duration ("B"/"E") slices so recovery phases show as bars.
+    Per-cell streams and recovery engines land on distinct pid/tid
+    lanes so exported traces are readable in Perfetto: ordinary events
+    become instants ("i") on ``pid 1 / tid <cell>``, while recovery
+    activity moves to ``pid 2`` with one thread per ``(cell, engine)``
+    pair — ``recovery.begin``/``recovery.end`` become duration
+    ("B"/"E") slices and ``recovery.phase`` flight-recorder spans
+    become complete ("X") slices inside them.  Thread-name metadata
+    ("M") records label every lane.
     """
     trace: List[dict] = []
+    cell_lanes: Dict[int, None] = {}
+    recovery_lanes: Dict[Tuple[int, str], int] = {}
+
+    def cell_tid(cell: int) -> int:
+        if cell not in cell_lanes:
+            cell_lanes[cell] = None
+            trace.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": CHROME_PID_CELLS,
+                "tid": cell,
+                "args": {"name": f"cell{cell}"},
+            })
+        return cell
+
+    def recovery_tid(cell: int, engine: str) -> int:
+        key = (cell, engine)
+        tid = recovery_lanes.get(key)
+        if tid is None:
+            tid = len(recovery_lanes)
+            recovery_lanes[key] = tid
+            trace.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": CHROME_PID_RECOVERY,
+                "tid": tid,
+                "args": {"name": f"cell{cell}:{engine}"},
+            })
+        return tid
+
     for event in events:
         kind = event.get("kind", "?")
         ts_us = float(event.get("ns", 0.0)) / 1000.0
-        tid = int(event.get("cell", 0))
+        cell = int(event.get("cell", 0))
         args = {
             key: value
             for key, value in event.items()
             if key not in ("kind", "ns", "seq", "cell")
         }
-        if kind == "recovery.begin":
-            phase, name = "B", f"recovery:{event.get('engine', '?')}"
-        elif kind == "recovery.end":
-            phase, name = "E", f"recovery:{event.get('engine', '?')}"
+        cat = kind.split(".", 1)[0]
+        if cat == "recovery":
+            engine = str(event.get("engine", "?"))
+            record = {
+                "pid": CHROME_PID_RECOVERY,
+                "tid": recovery_tid(cell, engine),
+                "cat": cat,
+                "args": args,
+            }
+            if kind == "recovery.begin":
+                record.update(
+                    name=f"recovery:{engine}", ph="B", ts=ts_us
+                )
+            elif kind == "recovery.end":
+                record.update(
+                    name=f"recovery:{engine}", ph="E", ts=ts_us
+                )
+            elif kind == "recovery.phase":
+                dur_us = float(event.get("dur_ns", 0.0)) / 1000.0
+                record.update(
+                    name=str(event.get("phase", "?")),
+                    ph="X",
+                    ts=ts_us - dur_us,
+                    dur=dur_us,
+                )
+            else:
+                record.update(name=kind, ph="i", ts=ts_us, s="t")
         else:
-            phase, name = "i", kind
-        record = {
-            "name": name,
-            "ph": phase,
-            "ts": ts_us,
-            "pid": 1,
-            "tid": tid,
-            "cat": kind.split(".", 1)[0],
-            "args": args,
-        }
-        if phase == "i":
-            record["s"] = "t"  # instant scope: thread
+            record = {
+                "name": kind,
+                "ph": "i",
+                "ts": ts_us,
+                "pid": CHROME_PID_CELLS,
+                "tid": cell_tid(cell),
+                "cat": cat,
+                "args": args,
+                "s": "t",  # instant scope: thread
+            }
         trace.append(record)
     return {
         "traceEvents": trace,

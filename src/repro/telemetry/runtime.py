@@ -35,8 +35,8 @@ import subprocess
 import sys
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry.events import (
     DEFAULT_BUFFER_LIMIT,
@@ -45,6 +45,7 @@ from repro.telemetry.events import (
     write_jsonl,
 )
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sampling import MetricSampler
 
 #: Metric-snapshot schema identifier (bump on breaking changes).
 METRICS_SCHEMA = "repro.telemetry.metrics/1"
@@ -60,11 +61,19 @@ class TelemetrySpec:
     ``events`` turns the structured tracer on; ``detail`` additionally
     emits high-frequency events (cache hits, per-check integrity
     events); ``buffer_limit`` bounds each cell's event buffer.
+    ``sample_interval`` > 0 arms the deterministic metric-series
+    sampler (one MetricsRegistry snapshot every N simulated requests);
+    ``sample_events`` is a tuple of ``(kind, keep_every_nth)`` pairs
+    head-sampling high-rate event kinds so trace-everything runs on
+    multi-million-access traces stay bounded.  Tuples (not dicts) keep
+    the spec hashable, picklable, and cache-key stable.
     """
 
     events: bool = True
     detail: bool = False
     buffer_limit: int = DEFAULT_BUFFER_LIMIT
+    sample_interval: int = 0
+    sample_events: Tuple[Tuple[str, int], ...] = field(default=())
 
     def make_tracer(self) -> EventTracer:
         """A fresh tracer honouring this spec."""
@@ -72,7 +81,14 @@ class TelemetrySpec:
             enabled=self.events,
             detail=self.detail,
             buffer_limit=self.buffer_limit,
+            sample_rates=dict(self.sample_events),
         )
+
+    def make_sampler(self) -> Optional[MetricSampler]:
+        """A fresh metric sampler, or None when sampling is off."""
+        if self.sample_interval > 0:
+            return MetricSampler(self.sample_interval)
+        return None
 
 
 class TelemetrySession:
@@ -82,6 +98,7 @@ class TelemetrySession:
         self.spec = spec if spec is not None else TelemetrySpec()
         self.tracer = self.spec.make_tracer()
         self.registry = MetricsRegistry()
+        self.sampler = self.spec.make_sampler()
 
 
 #: Stack of installed sessions; the top is the process-current one.
@@ -250,6 +267,21 @@ def run_collector() -> Optional["RunCollector"]:
     return _COLLECTOR
 
 
+def active_sampler() -> Optional[MetricSampler]:
+    """The current session's metric sampler, or None.
+
+    Replay loops fetch this once per run: a None return keeps the
+    no-telemetry hot path untouched, a sampler gets one ``tick`` per
+    simulated request.
+    """
+    return _SESSIONS[-1].sampler if _SESSIONS else None
+
+
+def sampling_active() -> bool:
+    """Whether the current session samples the metric series."""
+    return bool(_SESSIONS) and _SESSIONS[-1].sampler is not None
+
+
 class RunCollector:
     """Parent-side aggregation of per-cell telemetry, in cell order.
 
@@ -261,11 +293,16 @@ class RunCollector:
 
     def __init__(self, progress: bool = False) -> None:
         self.events: List[dict] = []
+        #: Merged metric-series samples, in cell order (same merge
+        #: discipline as :attr:`events` — byte-identical at any
+        #: ``--jobs``).
+        self.samples: List[dict] = []
         #: Every absorbed result, in cell order — what
         #: :meth:`metrics_snapshot` is usually fed.
         self.results: List = []
         self.cells = 0
         self.total_events = 0
+        self.total_samples = 0
         self.dropped_events = 0
         self.truncated_cells: List[int] = []
         self.started = time.perf_counter()
@@ -293,6 +330,12 @@ class RunCollector:
                 event["cell"] = cell
             self.events.extend(events)
             self.total_events += len(events)
+        samples = getattr(result, "samples", None)
+        if samples:
+            for sample in samples:
+                sample["cell"] = cell
+            self.samples.extend(samples)
+            self.total_samples += len(samples)
         summary = getattr(result, "telemetry", None)
         if summary:
             dropped = int(summary.get("dropped_events", 0))
@@ -352,6 +395,15 @@ class RunCollector:
         with open(path, "w") as stream:
             return write_jsonl(self.events, stream)
 
+    def write_samples(self, path: str) -> int:
+        """Write the merged metric series as JSONL; returns line count.
+
+        Same serialization and merge discipline as :meth:`write_trace`,
+        so the series is byte-identical across ``--jobs`` counts.
+        """
+        with open(path, "w") as stream:
+            return write_jsonl(self.samples, stream)
+
     def metrics_snapshot(self, results: List) -> dict:
         """The stable-schema metrics snapshot of a list of results.
 
@@ -384,6 +436,7 @@ class RunCollector:
         return {
             "cells": self.cells,
             "events": self.total_events,
+            "samples": self.total_samples,
             "dropped_events": self.dropped_events,
             "truncated": self.truncated,
             "truncated_cells": list(self.truncated_cells),

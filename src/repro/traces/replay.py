@@ -119,6 +119,28 @@ def _replay_range(
     stop: int,
 ) -> None:
     """Scalar replay of ``trace[start:stop)`` — the :func:`replay` body."""
+    from repro.telemetry.runtime import active_sampler
+
+    sampler = active_sampler()
+    if sampler is not None:
+        # Duplicated loop: the common no-sampling path must not pay a
+        # per-request None check on top of the access itself.
+        for request in trace.iter_range(start, stop):
+            if request.op == Op.WRITE:
+                controller.access(request)
+                shadow[request.address] = request.data
+            else:
+                data = controller.access(request)
+                if check_reads:
+                    expected = shadow.get(request.address, blank)
+                    if data != expected:
+                        raise IntegrityError(
+                            f"replay mismatch at {request.address:#x}: "
+                            f"controller returned different plaintext "
+                            f"than the oracle"
+                        )
+            sampler.tick(controller)
+        return
     for request in trace.iter_range(start, stop):
         if request.op == Op.WRITE:
             controller.access(request)
@@ -209,6 +231,29 @@ def replay_batched(
     stop = min(total, stop)
     if stop <= start:
         return shadow
+
+    from repro.telemetry.runtime import live_tracer
+
+    tracer = live_tracer()
+    if tracer.enabled:
+        # A live tracer always forces the whole range scalar, so these
+        # events are identical across batch modes (the cross-mode
+        # bit-identity contract extends to the event stream).
+        from repro.controller.batch import scalar_fallback_reason
+
+        reason = (
+            scalar_fallback_reason(controller, check_reads) or "telemetry"
+        )
+        tracer.emit("batch.fallback", reason=reason, start=start, stop=stop)
+        for lo, hi in _merge_windows(scalar_windows, total):
+            lo, hi = max(lo, start), min(hi, stop)
+            if hi > lo:
+                tracer.emit(
+                    "batch.fallback",
+                    reason="scalar_window",
+                    start=lo,
+                    stop=hi,
+                )
     columns = None
     if mode != "off" and not check_reads and batch_supported(controller):
         columns = trace.to_columns()

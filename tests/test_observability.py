@@ -1,0 +1,361 @@
+"""The recovery flight recorder and the live telemetry plane.
+
+The contracts under test, in order of importance:
+
+1. **Breakdowns partition totals.**  The analytic per-phase recovery
+   breakdowns sum to the headline ``*_recovery_time_s`` values exactly,
+   and a real recovery run's flight-recorder phases partition the
+   report's own ``estimated_ns`` step model.
+2. **Sampling is deterministic and inert.**  Sampled metric series are
+   byte-identical at any ``--jobs`` count, and arming the sampler
+   changes nothing about the simulation results themselves.
+3. **The live plane observes without perturbing.**  The service's
+   telemetry feed streams schema-valid events while the job's
+   artifacts stay what a direct run produces; ``/v1/status`` renders;
+   ``repro top --once`` and ``repro recover-report`` work end to end.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.config import GIB, SchemeKind
+from repro.controller.factory import build_controller
+from repro.core.recovery_agit import AgitRecovery
+from repro.core.recovery_asit import AsitRecovery
+from repro.core.recovery_time import (
+    agit_recovery_breakdown,
+    agit_recovery_time_s,
+    asit_recovery_breakdown,
+    asit_recovery_time_s,
+    osiris_recovery_breakdown,
+    osiris_recovery_time_s,
+)
+from repro.crypto.keys import ProcessorKeys
+from repro.recovery.crash import crash, reincarnate
+from repro.sim.engine import run_simulation
+from repro.sim.parallel import ParallelSweepExecutor
+from repro.telemetry import (
+    EventTracer,
+    RunCollector,
+    TelemetrySpec,
+    configure_telemetry,
+    validate_events,
+    write_jsonl,
+)
+from repro.telemetry.flightrec import FlightRecorder, breakdown_seconds
+from repro.telemetry.sampling import MetricSampler
+from repro.traces.profiles import profile
+from repro.traces.replay import replay
+from repro.traces.synthetic import generate_trace
+
+from tests.helpers import small_config
+
+MIB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# analytic breakdowns partition the headline totals
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("capacity", [128 * GIB, 1024 * GIB])
+def test_osiris_breakdown_sums_to_total(capacity):
+    phases = osiris_recovery_breakdown(capacity)
+    assert set(phases) == {"data_fetch", "counter_trials", "tree_rebuild"}
+    assert sum(phases.values()) == osiris_recovery_time_s(capacity)
+
+
+@pytest.mark.parametrize("cache", [128 * 1024, 4096 * 1024])
+def test_agit_breakdown_sums_to_total(cache):
+    phases = agit_recovery_breakdown(cache, cache)
+    assert set(phases) == {"shadow_scan", "counter_repair", "node_rebuild"}
+    assert sum(phases.values()) == agit_recovery_time_s(cache, cache)
+
+
+@pytest.mark.parametrize("cache", [256 * 1024, 8192 * 1024])
+def test_asit_breakdown_sums_to_total(cache):
+    phases = asit_recovery_breakdown(cache)
+    assert set(phases) == {"st_scan", "splice_read", "parent_fetch"}
+    assert sum(phases.values()) == asit_recovery_time_s(cache)
+
+
+# ---------------------------------------------------------------------------
+# flight recorder: measured phases partition the report's step model
+# ---------------------------------------------------------------------------
+
+
+def _crashed_controller(scheme, tree=None):
+    kwargs = {"memory_bytes": 64 * MIB}
+    if tree is not None:
+        kwargs["tree"] = tree
+    config = small_config(scheme, **kwargs)
+    controller = build_controller(config, keys=ProcessorKeys(3))
+    trace = generate_trace(
+        profile("gcc"), 400, seed=3,
+        capacity_bytes=config.memory.capacity_bytes,
+    )
+    replay(controller, trace)
+    crash(controller)
+    return reincarnate(controller)
+
+
+def test_agit_flight_recorder_partitions_estimate():
+    reborn = _crashed_controller(SchemeKind.AGIT_PLUS)
+    report = AgitRecovery(reborn.nvm, reborn.layout, reborn).run()
+    assert [p["phase"] for p in report.phases] == [
+        "scan", "repair_counters", "rebuild_nodes", "verify_root",
+    ]
+    assert sum(
+        p["analytic_ns"] for p in report.phases
+    ) == report.estimated_ns()
+    assert all(p["wall_seconds"] >= 0.0 for p in report.phases)
+    assert sum(report.breakdown_seconds().values()) == pytest.approx(
+        report.estimated_seconds(), rel=1e-12
+    )
+
+
+def test_asit_flight_recorder_partitions_estimate():
+    from repro.config import TreeKind
+
+    reborn = _crashed_controller(SchemeKind.ASIT, tree=TreeKind.SGX)
+    report = AsitRecovery(reborn.nvm, reborn.layout, reborn).run()
+    assert [p["phase"] for p in report.phases] == [
+        "scan_shadow", "splice", "verify", "commit",
+    ]
+    assert sum(
+        p["analytic_ns"] for p in report.phases
+    ) == report.estimated_ns()
+
+
+def test_flight_recorder_unit():
+    ticks = [0.0]
+    recorder = FlightRecorder("demo", lambda: ticks[0])
+    with recorder.phase("alpha"):
+        ticks[0] += 300.0
+    with recorder.phase("beta"):
+        ticks[0] += 700.0
+    assert recorder.breakdown_ns() == {"alpha": 300.0, "beta": 700.0}
+    assert recorder.total_ns() == 1000.0
+    assert breakdown_seconds(recorder.phases) == {
+        "alpha": 3e-7, "beta": 7e-7,
+    }
+
+
+def test_experiment_breakdowns_match_series():
+    from repro.experiments import fig05_recovery_osiris as fig05
+    from repro.experiments import fig12_recovery_time as fig12
+
+    r5 = fig05.run(capacities=[128 * GIB])
+    assert sum(r5.breakdowns[128 * GIB].values()) == r5.recovery_seconds[
+        128 * GIB
+    ]
+    r12 = fig12.run(cache_sizes=[256 * 1024])
+    assert sum(r12.agit_breakdown[256 * 1024].values()) == (
+        r12.agit_analytic[256 * 1024]
+    )
+    assert sum(r12.asit_breakdown[256 * 1024].values()) == (
+        r12.asit_analytic[256 * 1024]
+    )
+
+
+# ---------------------------------------------------------------------------
+# sampled metric series: deterministic, inert, byte-identical
+# ---------------------------------------------------------------------------
+
+
+def test_sampler_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        MetricSampler(0)
+
+
+def test_sampling_does_not_change_results():
+    config = small_config(SchemeKind.AGIT_PLUS, memory_bytes=64 * MIB)
+    trace = generate_trace(
+        profile("gcc"), 400, seed=2,
+        capacity_bytes=config.memory.capacity_bytes,
+    )
+    bare = run_simulation(config, trace, ProcessorKeys(2))
+    sampled = run_simulation(
+        config, trace, ProcessorKeys(2),
+        telemetry=TelemetrySpec(events=False, sample_interval=32),
+    )
+    assert sampled.elapsed_ns == bare.elapsed_ns
+    assert sampled.stats == bare.stats
+    assert sampled.samples, "sampler armed but no samples recorded"
+    ticks = [s["tick"] for s in sampled.samples]
+    assert ticks == sorted(ticks)
+    assert all(t % 32 == 0 for t in ticks)
+
+
+def _collect_samples(jobs):
+    """One small grid with only the sampler armed; serialized series."""
+    config = small_config(memory_bytes=64 * MIB)
+    traces = [
+        generate_trace(profile(name), 400, seed=3)
+        for name in ("gcc", "libquantum")
+    ]
+    cells = [
+        (config.with_scheme(scheme), trace)
+        for trace in traces
+        for scheme in (SchemeKind.WRITE_BACK, SchemeKind.AGIT_PLUS)
+    ]
+    collector = configure_telemetry(
+        TelemetrySpec(events=False, sample_interval=64)
+    )
+    try:
+        executor = ParallelSweepExecutor(jobs, backoff=0)
+        executor.run_simulations(cells, ProcessorKeys(7))
+    finally:
+        configure_telemetry(None)
+    stream = io.StringIO()
+    write_jsonl(collector.samples, stream)
+    return stream.getvalue()
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_sample_series_identical_across_jobs(jobs):
+    serial = _collect_samples(1)
+    fanned = _collect_samples(jobs)
+    assert fanned == serial
+    assert serial  # non-empty: the sweep actually sampled
+
+
+def test_tracer_head_sampling_is_deterministic():
+    tracer = EventTracer(sample_rates={"mem.access": 4})
+    for index in range(10):
+        tracer.emit("mem.access", op="read", address=index)
+        tracer.emit("wpq.drain", count=1)
+    kept = [e for e in tracer.events() if e["kind"] == "mem.access"]
+    assert [e["address"] for e in kept] == [0, 4, 8]
+    assert tracer.sampled_out == 7
+    # Unsampled kinds are untouched.
+    assert sum(e["kind"] == "wpq.drain" for e in tracer.events()) == 10
+
+
+# ---------------------------------------------------------------------------
+# batch.fallback events: present, schema-valid, mode-independent
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch", ["off", "auto", "on"])
+def test_batch_fallback_event_identical_across_modes(batch):
+    config = small_config(SchemeKind.AGIT_PLUS, memory_bytes=64 * MIB)
+    trace = generate_trace(
+        profile("gcc"), 300, seed=5,
+        capacity_bytes=config.memory.capacity_bytes,
+    )
+    result = run_simulation(
+        config, trace, ProcessorKeys(5),
+        telemetry=TelemetrySpec(), batch=batch,
+    )
+    fallbacks = [
+        e for e in result.events if e["kind"] == "batch.fallback"
+    ]
+    assert fallbacks and fallbacks[0]["reason"] == "telemetry"
+    assert validate_events(result.events) == []
+    # The whole stream (not just fallbacks) matches the scalar run.
+    if batch != "off":
+        scalar = run_simulation(
+            config, trace, ProcessorKeys(5),
+            telemetry=TelemetrySpec(), batch="off",
+        )
+        assert result.events == scalar.events
+
+
+def test_run_collector_merges_samples():
+    collector = RunCollector()
+    from repro.sim.results import SimulationResult
+
+    result = SimulationResult(
+        benchmark="gcc", scheme=SchemeKind.WRITE_BACK,
+        elapsed_ns=1.0, requests=1,
+        samples=[{"kind": "metric.sample", "ns": 0.0, "seq": 0,
+                  "tick": 1, "values": {}}],
+    )
+    collector.absorb(result)
+    assert collector.total_samples == 1
+    assert collector.samples[0]["cell"] == 0
+    assert collector.summary()["samples"] == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI: recover-report and stats satellites
+# ---------------------------------------------------------------------------
+
+
+def test_recover_report_json_three_phases_per_scheme(capsys):
+    assert cli.main(["recover-report", "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"].startswith("repro.telemetry.recover-report/")
+    for name in ("osiris", "anubis_agit", "anubis_asit"):
+        scheme = report["schemes"][name]
+        assert len(scheme["phases"]) >= 3, name
+        assert sum(scheme["phases"].values()) == scheme["total_seconds"]
+
+
+def test_recover_report_writes_json_artifact(tmp_path, capsys):
+    out = tmp_path / "recover.json"
+    assert cli.main(["recover-report", "--json", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert set(report["schemes"]) == {
+        "osiris", "anubis_agit", "anubis_asit",
+    }
+
+
+def test_stats_from_metrics_round_trip(tmp_path, capsys):
+    snapshot = tmp_path / "metrics.json"
+    assert cli.main([
+        "stats", "--length", "300", "--metrics-out", str(snapshot),
+    ]) == 0
+    capsys.readouterr()
+    assert cli.main([
+        "stats", "--from-metrics", str(snapshot), "--format", "json",
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"].startswith("repro.telemetry.metrics/")
+    assert doc["cells"]
+
+
+@pytest.mark.parametrize("payload", [
+    "not json at all",
+    json.dumps({"schema": "something/else", "cells": [{}]}),
+    json.dumps({"schema": "repro.telemetry.metrics/1", "cells": []}),
+])
+def test_stats_from_metrics_rejects_bad_files(tmp_path, payload, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(payload)
+    assert cli.main(["stats", "--from-metrics", str(bad)]) == 2
+    assert "bad.json" in capsys.readouterr().err
+
+
+def test_stats_from_metrics_rejects_missing_file(tmp_path, capsys):
+    missing = tmp_path / "missing.json"
+    assert cli.main(["stats", "--from-metrics", str(missing)]) == 2
+    assert "missing.json" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# JobTelemetryFeed: bounded, thread-safe, closable
+# ---------------------------------------------------------------------------
+
+
+def test_job_telemetry_feed_bounds_and_snapshots():
+    from repro.service.telemetry import JobTelemetryFeed
+
+    feed = JobTelemetryFeed("job-1", limit=3)
+    for index in range(5):
+        feed.emit("metric.sample", tick=index, values={})
+    assert len(feed) == 3
+    assert feed.dropped == 2
+    events = feed.snapshot()
+    assert [e["seq"] for e in events] == [0, 1, 2]
+    assert all(e["job"] == "job-1" for e in events)
+    assert feed.snapshot(2) == events[2:]
+    assert not feed.closed
+    feed.close()
+    assert feed.closed

@@ -207,6 +207,69 @@ class TestEndToEnd:
         assert "service.progress" in kinds
         assert validate_events(events) == []
 
+    def test_telemetry_streams_schema_valid_feed(self, service):
+        from repro.telemetry.events import validate_events
+
+        _thread, client = service
+        jid = client.submit(
+            "probe", params={"sleep_ms": 20, "steps": 5}
+        )["job"]["id"]
+        events = list(client.telemetry(jid))
+        assert events, "telemetry feed streamed nothing"
+        assert validate_events(events) == []
+        samples = [e for e in events if e["kind"] == "metric.sample"]
+        assert samples[-1]["values"] == {"done": 5.0, "total": 5.0}
+        assert all(e["job"] == jid for e in events)
+        # Late watcher: the feed replays after the job is terminal.
+        client.wait(jid, timeout=60)
+        assert list(client.telemetry(jid)) == events
+
+    def test_telemetry_feed_carries_trial_outcomes(self, service):
+        from repro.telemetry.events import validate_events
+
+        _thread, client = service
+        jid = client.submit(
+            "faults",
+            params={"trials": 6, "length": 500, "crash_points": 2},
+        )["job"]["id"]
+        events = list(client.telemetry(jid))
+        outcomes = [e for e in events if e["kind"] == "trial.outcome"]
+        assert len(outcomes) == 6
+        assert validate_events(events) == []
+        assert all("model" in e and "outcome" in e for e in outcomes)
+
+    def test_telemetry_unknown_job_is_404(self, service):
+        _thread, client = service
+        with pytest.raises(ServiceError, match="unknown job"):
+            list(client.telemetry("nope"))
+
+    def test_status_page_renders_jobs(self, service):
+        _thread, client = service
+        jid = client.submit("probe", params={"sleep_ms": 10})["job"][
+            "id"
+        ]
+        client.wait(jid, timeout=60)
+        page = client.status_page()
+        assert page.startswith("<!DOCTYPE html>")
+        assert jid in page
+        assert "SUCCEEDED" in page
+
+    def test_top_once_renders_frame(self, service, capsys):
+        import repro.cli as cli
+
+        thread, client = service
+        jid = client.submit("probe", params={"sleep_ms": 10})["job"][
+            "id"
+        ]
+        client.wait(jid, timeout=60)
+        assert cli.main([
+            "top", "--once",
+            "--server", f"http://127.0.0.1:{thread.port}",
+        ]) == 0
+        frame = capsys.readouterr().out
+        assert "repro service" in frame
+        assert jid in frame
+
     def test_failed_job_reports_error(self, service):
         _thread, client = service
         jid = client.submit("probe", params={"fail": True})["job"][

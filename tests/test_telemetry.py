@@ -177,12 +177,26 @@ def test_chrome_trace_shapes():
          "ok": True},
     ]
     trace = chrome_trace(events)
-    phases = [record["ph"] for record in trace["traceEvents"]]
+    records = [r for r in trace["traceEvents"] if r["ph"] != "M"]
+    phases = [record["ph"] for record in records]
     assert phases == ["i", "B", "E"]
-    instant = trace["traceEvents"][0]
+    instant = records[0]
     assert instant["s"] == "t"
     assert instant["ts"] == 1.0  # 1000ns -> 1µs
     assert instant["tid"] == 2
+    assert instant["pid"] == 1
+    # Recovery activity lives on its own process lane.
+    assert records[1]["pid"] == 2
+    assert records[2]["pid"] == 2
+    assert records[1]["tid"] == records[2]["tid"]
+    # Every lane carries a thread-name metadata record.
+    names = [
+        r["args"]["name"]
+        for r in trace["traceEvents"]
+        if r["ph"] == "M"
+    ]
+    assert "cell2" in names
+    assert any("agit" in name for name in names)
 
 
 # ---------------------------------------------------------------------------
